@@ -1,0 +1,112 @@
+package pvm
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// Paper-artifact benchmarks: one per table and figure of the evaluation.
+// Each iteration regenerates the artifact at quick scale (deterministic);
+// run `go run ./cmd/pvmbench -exp <id>` for paper-shaped output at full
+// size. ns/op here is *simulator* wall-clock cost, not virtual time.
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	sc := experiments.QuickScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, sc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)     { benchExperiment(b, "table1") }     // VM exit/entry latency
+func BenchmarkTable2(b *testing.B)     { benchExperiment(b, "table2") }     // get_pid syscall latency
+func BenchmarkTable3(b *testing.B)     { benchExperiment(b, "table3") }     // LMbench processes
+func BenchmarkTable4(b *testing.B)     { benchExperiment(b, "table4") }     // LMbench file & VM
+func BenchmarkFig2(b *testing.B)       { benchExperiment(b, "fig2") }       // nested overhead analysis
+func BenchmarkFig4(b *testing.B)       { benchExperiment(b, "fig4") }       // EPT vs SPT nested memory
+func BenchmarkFig10(b *testing.B)      { benchExperiment(b, "fig10") }      // page-fault scaling + ablations
+func BenchmarkFig11(b *testing.B)      { benchExperiment(b, "fig11") }      // real applications
+func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }      // high-density fluidanimate
+func BenchmarkFig13(b *testing.B)      { benchExperiment(b, "fig13") }      // CloudSuite
+func BenchmarkSwitchCost(b *testing.B) { benchExperiment(b, "switchcost") } // §2.2/§3.3.2 switch costs
+
+// Hot-path micro-benchmarks of the simulator itself (per virtualization
+// event). VirtualNSPerOp reports the modeled virtual cost alongside.
+
+func benchFaultPath(b *testing.B, cfg Config) {
+	sys := NewSystem(cfg, DefaultOptions())
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var virtual int64
+	n := b.N
+	b.ResetTimer()
+	g.Run(0, 4, func(p *Process) {
+		base := p.Mmap(n + 1)
+		start := p.CPU.Now()
+		p.TouchRange(base, n, true)
+		virtual = p.CPU.Now() - start
+	})
+	sys.Eng.Wait()
+	b.StopTimer()
+	if n > 0 {
+		b.ReportMetric(float64(virtual)/float64(n), "virtual-ns/fault")
+	}
+}
+
+func BenchmarkFaultPathKVMEPTBareMetal(b *testing.B) { benchFaultPath(b, KVMEPTBareMetal) }
+func BenchmarkFaultPathKVMSPTBareMetal(b *testing.B) { benchFaultPath(b, KVMSPTBareMetal) }
+func BenchmarkFaultPathKVMEPTNested(b *testing.B)    { benchFaultPath(b, KVMEPTNested) }
+func BenchmarkFaultPathSPTOnEPTNested(b *testing.B)  { benchFaultPath(b, SPTOnEPTNested) }
+func BenchmarkFaultPathPVMNested(b *testing.B)       { benchFaultPath(b, PVMNested) }
+
+func benchSyscall(b *testing.B, cfg Config, direct bool) {
+	opt := DefaultOptions()
+	opt.DirectSwitch = direct
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ResetTimer()
+	g.Run(0, 4, func(p *Process) {
+		for i := 0; i < n; i++ {
+			p.Getpid()
+		}
+	})
+	sys.Eng.Wait()
+}
+
+func BenchmarkSyscallKVMEPT(b *testing.B)      { benchSyscall(b, KVMEPTBareMetal, true) }
+func BenchmarkSyscallPVMDirect(b *testing.B)   { benchSyscall(b, PVMNested, true) }
+func BenchmarkSyscallPVMFullExit(b *testing.B) { benchSyscall(b, PVMNested, false) }
+
+// BenchmarkConcurrentMembench measures simulator throughput under the
+// contended 16-process Figure 10 workload.
+func BenchmarkConcurrentMembench(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := NewSystem(PVMNested, DefaultOptions())
+		g, err := sys.NewGuest(fmt.Sprintf("bench%d", i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for w := 0; w < 16; w++ {
+			g.Run(0, 4, func(p *Process) {
+				base := p.Mmap(256)
+				p.TouchRange(base, 256, true)
+				if err := p.Munmap(base, 256); err != nil {
+					panic(err)
+				}
+			})
+		}
+		sys.Eng.Wait()
+	}
+}

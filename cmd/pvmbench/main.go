@@ -1,0 +1,67 @@
+// Command pvmbench regenerates the tables and figures of the PVM paper
+// (SOSP'23) on the simulator.
+//
+// Usage:
+//
+//	pvmbench -list
+//	pvmbench -exp fig4 [-scale default|quick|full]
+//	pvmbench -exp all
+//
+// Every run is deterministic for a given scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale = flag.String("scale", "default", "workload scale: quick, default, or full")
+		list  = flag.Bool("list", false, "list available experiments")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.List() {
+			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+		}
+		fmt.Println("  all          run every experiment")
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "default":
+		sc = experiments.DefaultScale()
+	case "full":
+		sc = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "pvmbench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	var err error
+	if *exp == "all" {
+		err = experiments.RunAll(sc, os.Stdout)
+	} else {
+		err = experiments.Run(*exp, sc, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n(%s wall-clock)\n", time.Since(start).Round(time.Millisecond))
+}

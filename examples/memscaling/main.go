@@ -1,0 +1,57 @@
+// Memscaling: the Figure 4 / Figure 10 story through the public API — the
+// concurrent memory micro-benchmark (allocate 1 MiB, touch page by page,
+// release) swept over process counts under each memory-virtualization
+// design, printing per-configuration makespans and the world-switch/L0-exit
+// profile that explains them.
+package main
+
+import (
+	"fmt"
+
+	pvm "repro"
+	"repro/internal/workloads"
+)
+
+const mib = 4
+
+func run(cfg pvm.Config, procs int) (int64, pvm.Snapshot) {
+	opt := pvm.DefaultOptions()
+	opt.Cores = 104
+	sys := pvm.NewSystem(cfg, opt)
+	g, err := sys.NewGuest("membench")
+	if err != nil {
+		panic(err)
+	}
+	for i := 0; i < procs; i++ {
+		g.Run(0, 4, func(p *pvm.Process) {
+			workloads.MembenchCycle(p, mib*workloads.PagesPerMiB)
+		})
+	}
+	sys.Eng.Wait()
+	return sys.Eng.Makespan(), sys.Ctr.Snapshot()
+}
+
+func main() {
+	procCounts := []int{1, 4, 16}
+	fmt.Printf("memory benchmark: %d MiB touched per process (alloc/release cycles)\n\n", mib)
+
+	for _, cfg := range pvm.Configs() {
+		fmt.Printf("%s\n", cfg)
+		for _, procs := range procCounts {
+			ms, snap := run(cfg, procs)
+			if faults := snap.GuestFaults; faults > 0 {
+				fmt.Printf("  %2d procs: %8.3f ms   switches/fault=%.1f  L0-exits/fault=%.2f\n",
+					procs, float64(ms)/1e6,
+					float64(snap.WorldSwitches)/float64(faults),
+					float64(snap.L0Exits)/float64(faults))
+				continue
+			}
+			fmt.Printf("  %2d procs: %8.3f ms\n", procs, float64(ms)/1e6)
+		}
+	}
+
+	fmt.Println("\nreading the profile: PVM spends ~2n+4 cheap switcher transitions per fault")
+	fmt.Println("with zero L0 exits; EPT-on-EPT spends 2n+6 switches with n+3 L0 exits, all")
+	fmt.Println("serialized on the host's per-instance mmu_lock — which is why its makespan")
+	fmt.Println("collapses as concurrency grows.")
+}

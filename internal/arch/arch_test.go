@@ -1,0 +1,141 @@
+package arch
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPageAlignment(t *testing.T) {
+	cases := []struct {
+		va         VA
+		down, up   VA
+		off        uint64
+		pageNumber uint64
+	}{
+		{0, 0, 0, 0, 0},
+		{1, 0, PageSize, 1, 0},
+		{PageSize, PageSize, PageSize, 0, 1},
+		{PageSize + 5, PageSize, 2 * PageSize, 5, 1},
+		{2*PageSize - 1, PageSize, 2 * PageSize, PageSize - 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.va.PageDown(); got != c.down {
+			t.Errorf("PageDown(%#x) = %#x, want %#x", c.va, got, c.down)
+		}
+		if got := c.va.PageUp(); got != c.up {
+			t.Errorf("PageUp(%#x) = %#x, want %#x", c.va, got, c.up)
+		}
+		if got := c.va.Offset(); got != c.off {
+			t.Errorf("Offset(%#x) = %#x, want %#x", c.va, got, c.off)
+		}
+		if got := c.va.PageNumber(); got != c.pageNumber {
+			t.Errorf("PageNumber(%#x) = %d, want %d", c.va, got, c.pageNumber)
+		}
+	}
+}
+
+func TestIndexDecomposition(t *testing.T) {
+	// Reconstructing an address from its per-level indices must round-trip.
+	f := func(raw uint64) bool {
+		va := VA(raw % (1 << VABits)).PageDown()
+		var rebuilt uint64
+		for level := 1; level <= PTLevels; level++ {
+			shift := PageShift + IndexBits*(level-1)
+			rebuilt |= uint64(va.Index(level)) << shift
+		}
+		return VA(rebuilt) == va
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndexBounds(t *testing.T) {
+	va := VA(0xFFFFFFFFFFFF) // all ones in 48 bits
+	for level := 1; level <= PTLevels; level++ {
+		if idx := va.Index(level); idx != EntriesPerTable-1 {
+			t.Errorf("Index(level %d) = %d, want %d", level, idx, EntriesPerTable-1)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Index(0) did not panic")
+		}
+	}()
+	va.Index(0)
+}
+
+func TestCanonical(t *testing.T) {
+	if !VA(0).Canonical() || !VA(1<<VABits-1).Canonical() {
+		t.Error("low addresses should be canonical")
+	}
+	if VA(1 << VABits).Canonical() {
+		t.Error("address beyond 48 bits should not be canonical")
+	}
+}
+
+func TestKernelSplit(t *testing.T) {
+	if VA(0x1000).IsKernel() {
+		t.Error("low address reported as kernel")
+	}
+	if !KernelSpaceStart.IsKernel() {
+		t.Error("KernelSpaceStart not kernel")
+	}
+	if !SwitcherBase.IsKernel() {
+		t.Error("switcher must live in the kernel half")
+	}
+	if !SwitcherBase.Canonical() {
+		t.Error("switcher base must be canonical")
+	}
+}
+
+func TestPVMPCIDWindowsDisjoint(t *testing.T) {
+	kEnd := PVMKernelPCIDBase + PCID(PVMKernelPCIDLen)
+	if kEnd > PVMUserPCIDBase {
+		t.Fatalf("kernel PCID window [%d,%d) overlaps user window starting %d",
+			PVMKernelPCIDBase, kEnd, PVMUserPCIDBase)
+	}
+	if PVMUserPCIDBase+PCID(PVMUserPCIDLen) > MaxPCID {
+		t.Fatal("user PCID window exceeds PCID space")
+	}
+}
+
+func TestHypercallCount(t *testing.T) {
+	// The paper states PVM serves 22 frequently invoked privileged
+	// instructions via hypercalls.
+	if NumHypercalls != 22 {
+		t.Fatalf("NumHypercalls = %d, want 22", NumHypercalls)
+	}
+	seen := map[string]bool{}
+	for h := HypercallNR(0); h < NumHypercalls; h++ {
+		name := h.String()
+		if name == "" || seen[name] {
+			t.Fatalf("hypercall %d has empty or duplicate name %q", h, name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Ring0.String() != "ring0" || Ring3.String() != "ring3" {
+		t.Error("Ring stringer broken")
+	}
+	if VRing0.String() != "v_ring0" || VRing3.String() != "v_ring3" {
+		t.Error("VirtRing stringer broken")
+	}
+	if RootMode.String() != "root" || NonRootMode.String() != "non-root" {
+		t.Error("Mode stringer broken")
+	}
+	for op := PrivOp(0); op < numPrivOps; op++ {
+		if op.String() == "" {
+			t.Errorf("PrivOp %d has empty name", op)
+		}
+	}
+}
+
+func TestScrubbedGPRs(t *testing.T) {
+	// All GPRs except RSP and RAX are cleared on PVM VM exit.
+	if ScrubbedGPRs != 14 {
+		t.Fatalf("ScrubbedGPRs = %d, want 14", ScrubbedGPRs)
+	}
+}

@@ -1,0 +1,85 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/guest"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+)
+
+// eptMMU is single-level hardware memory virtualization (kvm-ept (BM)): the
+// guest manages its own page table, the hardware walks GPT×EPT01, guest page
+// faults are handled entirely inside the guest, and only EPT01 violations
+// exit to the hypervisor.
+type eptMMU struct {
+	g *Guest
+}
+
+func newEPTMMU(g *Guest) *eptMMU { return &eptMMU{g: g} }
+
+func (m *eptMMU) register(p *guest.Process) {
+	p.PlatformData = &procData{
+		tlb:      tlb.New(m.g.Sys.Opt.TLBEntries),
+		pcidUser: arch.PCID(p.PID) % arch.MaxPCID,
+	}
+	// GPT updates do not trap: no OnWrite hook.
+}
+
+func (m *eptMMU) unregister(p *guest.Process) {
+	// Nothing to tear down: EPT backings are released page by page via
+	// releasePage as the kernel frees frames.
+}
+
+func (m *eptMMU) access(p *guest.Process, va arch.VA, write bool) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
+	d := pd(p)
+	va = va.PageDown()
+
+	if _, ok := d.tlb.Lookup(g.VPID, d.pcidUser, va, write); ok {
+		c.AdvanceLazy(1)
+		return
+	}
+
+	e, _, fault := p.GPT.Walk(va, write, true)
+	if fault != nil {
+		// Guest-internal #PF: delivered through the guest IDT without
+		// any VM exit — the defining advantage of hardware-assisted
+		// memory virtualization.
+		g.Sys.Ctr.GuestFaults.Add(1)
+		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest-internal fault va=%#x", g.Name, p.PID, va)
+		c.AdvanceLazy(prm.ExceptionDelivery)
+		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
+			panic(fmt.Sprintf("backend/ept: %v", err))
+		}
+		var f2 *pagetable.Fault
+		e, _, f2 = p.GPT.Walk(va, write, true)
+		if f2 != nil {
+			panic(fmt.Sprintf("backend/ept: fault persists after handling: %v", f2))
+		}
+	}
+
+	// Second-dimension leg: EPT01 violations trap to the hypervisor.
+	g.vm.EnsureBacking(c, e.PFN)
+
+	c.AdvanceLazy(prm.TLBRefill2D)
+	d.tlb.Insert(g.VPID, d.pcidUser, va, tlb.Entry{
+		PFN:   e.PFN,
+		Write: e.Flags.Has(pagetable.Writable),
+	})
+}
+
+func (m *eptMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
+	pd(p).tlb.FlushPage(m.g.VPID, pd(p).pcidUser, va)
+	m.g.vm.ReleaseBacking(p.CPU, gpa)
+}
+
+// flushRange is guest-internal under hardware-assisted virtualization: the
+// guest invalidates its own TLB entries without any exit.
+func (m *eptMMU) flushRange(p *guest.Process, pages int) {
+	p.CPU.AdvanceLazy(int64(pages) * m.g.Sys.Prm.FlushPTEScan)
+}

@@ -1,0 +1,176 @@
+package backend
+
+// Tests for the §5 (Discussions and Future Work) extensions: switcher-level
+// fault classification, collaborative (WP-free) page-table sync, and
+// Xen-style direct paging on KVM.
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/guest"
+)
+
+func TestSwitcherFaultClassifySavesOneExit(t *testing.T) {
+	// Baseline: 2n+4 = 12 switches for a fresh-page fault (n = 4).
+	// With classification, the inbound leg is a direct switcher
+	// injection: 2n+3 = 11.
+	opt := DefaultOptions()
+	opt.SwitcherFaultClassify = true
+	d := touchFreshPage(t, PVMNST, opt)
+	if d.WorldSwitches != 11 {
+		t.Errorf("switches with classification = %d, want 2n+3 = 11", d.WorldSwitches)
+	}
+	if d.L0Exits != 0 || d.GuestFaults != 1 || d.Prefaults != 1 {
+		t.Errorf("counters: %+v", d)
+	}
+}
+
+func TestCollaborativeSyncRemovesWriteTraps(t *testing.T) {
+	opt := DefaultOptions()
+	opt.CollaborativeSync = true
+	d := touchFreshPage(t, PVMNST, opt)
+	if d.PTEWriteTraps != 0 {
+		t.Errorf("PTE write traps = %d, want 0 (stores logged, not trapped)", d.PTEWriteTraps)
+	}
+	// Per fault: exit, enter kernel, iret-exit, enter user = 4 switches.
+	if d.WorldSwitches != 4 {
+		t.Errorf("switches = %d, want 4", d.WorldSwitches)
+	}
+	if d.GuestFaults != 1 || d.Prefaults != 1 {
+		t.Errorf("counters: %+v", d)
+	}
+}
+
+func TestCollaborativeSyncCorrectAcrossMunmap(t *testing.T) {
+	// The sync log must be replayed at flush points so stale shadow
+	// entries never outlive a munmap.
+	opt := DefaultOptions()
+	opt.CollaborativeSync = true
+	runOne(t, PVMNST, opt, func(s *System, p *guest.Process) {
+		base := p.Mmap(8)
+		p.TouchRange(base, 8, true)
+		if err := p.Munmap(base, 8); err != nil {
+			panic(err)
+		}
+		d := pd(p)
+		for i := 0; i < 8; i++ {
+			va := base + arch.VA(i)*arch.PageSize
+			if _, ok := d.shadow.Lookup(va); ok {
+				t.Fatalf("stale shadow entry at %#x after munmap", va)
+			}
+		}
+		// Reuse refaults correctly.
+		base2 := p.Mmap(8)
+		p.TouchRange(base2, 8, true)
+		if p.ResidentPages() < 8 {
+			t.Error("reuse did not repopulate")
+		}
+	})
+}
+
+func TestDirectPagingConstantSwitchesPerFault(t *testing.T) {
+	opt := DefaultOptions()
+	opt.DirectPaging = true
+	// Fresh page in an empty table (n = 4 writes) and a neighbour page
+	// (n = 1) must cost the same four switches: the batch is applied in
+	// one hypercall regardless of n.
+	runOne(t, PVMNST, opt, func(s *System, p *guest.Process) {
+		base := p.Mmap(4)
+		d1 := diff(s, func() { p.Touch(base, true) })
+		d2 := diff(s, func() { p.Touch(base+arch.PageSize, true) })
+		if d1.WorldSwitches != 4 || d2.WorldSwitches != 4 {
+			t.Errorf("switches = %d then %d, want 4 and 4 (constant)", d1.WorldSwitches, d2.WorldSwitches)
+		}
+		if d1.L0Exits != 0 || d2.L0Exits != 0 {
+			t.Error("direct paging must not exit to L0")
+		}
+	})
+}
+
+func TestDirectPagingCorrectness(t *testing.T) {
+	opt := DefaultOptions()
+	opt.DirectPaging = true
+	runOne(t, PVMNST, opt, func(s *System, p *guest.Process) {
+		base := p.Mmap(16)
+		p.TouchRange(base, 16, true)
+		if got := p.ResidentPages(); got != 16 {
+			t.Errorf("resident = %d, want 16", got)
+		}
+		if err := p.Munmap(base, 16); err != nil {
+			panic(err)
+		}
+		d := pd(p)
+		if got := d.sptUser.CountMapped(); got != 2 { // switcher pages only
+			t.Errorf("validated mappings after munmap = %d, want 2", got)
+		}
+		// Fork + child access: validation faults, no guest faults.
+		shared := p.Mmap(4)
+		p.TouchRange(shared, 4, true)
+		child, err := p.Fork(nil)
+		if err != nil {
+			panic(err)
+		}
+		dd := diff(s, func() { child.Touch(shared, false) })
+		if dd.GuestFaults != 0 || dd.ShadowFaults != 1 {
+			t.Errorf("child inherited-page read: %+v, want validation fault only", dd)
+		}
+		if err := child.Exit(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+func TestDirectPagingSyscallsStillDirectSwitch(t *testing.T) {
+	opt := DefaultOptions()
+	opt.DirectPaging = true
+	var elapsed int64
+	runOne(t, PVMNST, opt, func(s *System, p *guest.Process) {
+		start := p.CPU.Now()
+		p.Getpid()
+		elapsed = p.CPU.Now() - start
+	})
+	if elapsed != 290 {
+		t.Errorf("get_pid = %d ns, want 290 (direct switch unaffected)", elapsed)
+	}
+}
+
+func TestFutureVariantsBeatBaselineOnWriteHeavyWork(t *testing.T) {
+	run := func(opt Options) int64 {
+		s := NewSystem(PVMNST, opt)
+		g, err := s.NewGuest("g0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Run(0, 4, func(p *guest.Process) {
+			for round := 0; round < 4; round++ {
+				base := p.Mmap(128)
+				p.TouchRange(base, 128, true)
+				if err := p.Munmap(base, 128); err != nil {
+					panic(err)
+				}
+			}
+		})
+		s.Eng.Wait()
+		return s.Eng.Makespan()
+	}
+	base := run(DefaultOptions())
+
+	classify := DefaultOptions()
+	classify.SwitcherFaultClassify = true
+	if got := run(classify); got >= base {
+		t.Errorf("fault classification (%d) should beat baseline (%d)", got, base)
+	}
+
+	collab := DefaultOptions()
+	collab.CollaborativeSync = true
+	if got := run(collab); got >= base {
+		t.Errorf("collaborative sync (%d) should beat baseline (%d)", got, base)
+	}
+
+	direct := DefaultOptions()
+	direct.DirectPaging = true
+	if got := run(direct); got >= base {
+		t.Errorf("direct paging (%d) should beat baseline (%d)", got, base)
+	}
+}

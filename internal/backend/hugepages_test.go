@@ -1,0 +1,57 @@
+package backend
+
+import (
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/workloads"
+)
+
+func TestHugePagesCutEPTViolations(t *testing.T) {
+	run := func(huge bool) (violations int64, elapsed int64) {
+		opt := DefaultOptions()
+		opt.HugePagesEPT = huge
+		s := NewSystem(KVMEPTBM, opt)
+		g, err := s.NewGuest("g0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Run(0, 4, func(p *guest.Process) {
+			workloads.MembenchCumulative(p, 4*workloads.PagesPerMiB)
+		})
+		s.Eng.Wait()
+		return s.Ctr.EPTViolations.Load(), s.Eng.Makespan()
+	}
+	small, smallT := run(false)
+	huge, hugeT := run(true)
+	if huge >= small/64 {
+		t.Errorf("huge-page EPT violations = %d, want ≪ %d (one per 2 MiB block)", huge, small)
+	}
+	if hugeT >= smallT {
+		t.Errorf("huge pages (%d ns) should beat 4K EPT (%d ns)", hugeT, smallT)
+	}
+}
+
+func TestHugePagesReleaseZapsBlock(t *testing.T) {
+	opt := DefaultOptions()
+	opt.HugePagesEPT = true
+	runOne(t, KVMEPTBM, opt, func(s *System, p *guest.Process) {
+		base := p.Mmap(512) // one full 2 MiB block worth of pages
+		p.TouchRange(base, 512, true)
+		v1 := s.Ctr.EPTViolations.Load()
+		if err := p.Munmap(base, 512); err != nil {
+			panic(err)
+		}
+		// Reuse refaults the block (it was zapped on release).
+		base2 := p.Mmap(512)
+		p.TouchRange(base2, 512, true)
+		v2 := s.Ctr.EPTViolations.Load()
+		if v2 <= v1 {
+			t.Errorf("no refault after huge-block release: %d → %d", v1, v2)
+		}
+		// Host frames must not leak.
+		if err := p.Exit(); err != nil {
+			panic(err)
+		}
+	})
+}

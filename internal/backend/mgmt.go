@@ -1,0 +1,57 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/vclock"
+)
+
+// This file models the cloud-management claims of §2.3: hardware-assisted
+// nested virtualization pins architectural state (VMCS02, EPT02) at the L0
+// hypervisor, so "once an L2 guest is running, L1 can no longer be migrated,
+// saved, or loaded". PVM's L1 is an ordinary VM — L0 is unaware of the
+// nesting — so the provider keeps full lifecycle control.
+
+// MigrationCosts for the live migration of the L1 instance.
+const (
+	// migratePerFrame is the per-dirty-frame copy cost (virtual ns).
+	migratePerFrame = 600
+	// migrateBase is the blackout/bookkeeping cost.
+	migrateBase = 2_000_000
+)
+
+// CanMigrateL1 reports whether the cloud provider can live-migrate, save,
+// or load the L1 instance in its current state, with an explanation.
+func (s *System) CanMigrateL1() (bool, string) {
+	if !s.Cfg.Nested() {
+		return false, "not a nested deployment: there is no L1 instance"
+	}
+	switch s.Cfg {
+	case PVMNST:
+		return true, "L1 is an ordinary VM to L0: all PVM state (switcher, shadow tables) lives inside it"
+	default:
+		running := 0
+		for _, g := range s.guests {
+			running += g.LiveProcs()
+		}
+		if running == 0 {
+			return true, "no L2 guest is running yet"
+		}
+		return false, fmt.Sprintf(
+			"hardware virtualization state for %d running L2 context(s) (VMCS02/EPT02) is pinned at L0",
+			running)
+	}
+}
+
+// MigrateL1 live-migrates the L1 instance, charging the copy of its in-use
+// frames to the calling vCPU. It fails when the configuration pins nested
+// state at L0 (§2.3).
+func (s *System) MigrateL1(c *vclock.CPU) error {
+	ok, why := s.CanMigrateL1()
+	if !ok {
+		return fmt.Errorf("backend: cannot migrate L1: %s", why)
+	}
+	frames := s.L1.GPA.InUse()
+	c.Advance(migrateBase + frames*migratePerFrame)
+	return nil
+}

@@ -1,0 +1,147 @@
+package backend
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/guest"
+	"repro/internal/vclock"
+)
+
+func TestMigrationPVMStaysMigratable(t *testing.T) {
+	s := NewSystem(PVMNST, DefaultOptions())
+	g, err := s.NewGuest("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eng.Go(0, func(c *vclock.CPU) {
+		p, err := g.Kern.StartProcess(c, 16)
+		if err != nil {
+			panic(err)
+		}
+		// L2 guest actively running: PVM's L1 is still an ordinary VM.
+		ok, why := s.CanMigrateL1()
+		if !ok {
+			t.Errorf("pvm (NST) L1 not migratable: %s", why)
+		}
+		before := c.Now()
+		if err := s.MigrateL1(c); err != nil {
+			t.Errorf("migration failed: %v", err)
+		}
+		if c.Now() == before {
+			t.Error("migration charged no time")
+		}
+		if err := p.Exit(); err != nil {
+			panic(err)
+		}
+	})
+	s.Eng.Wait()
+}
+
+func TestMigrationBlockedUnderHardwareNesting(t *testing.T) {
+	s := NewSystem(KVMEPTNST, DefaultOptions())
+	g, err := s.NewGuest("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before any L2 runs, migration is still possible.
+	if ok, _ := s.CanMigrateL1(); !ok {
+		t.Error("idle nested instance should be migratable")
+	}
+	s.Eng.Go(0, func(c *vclock.CPU) {
+		p, err := g.Kern.StartProcess(c, 16)
+		if err != nil {
+			panic(err)
+		}
+		ok, why := s.CanMigrateL1()
+		if ok {
+			t.Error("kvm-ept (NST) with running L2 must not be migratable (§2.3)")
+		}
+		if !strings.Contains(why, "pinned at L0") {
+			t.Errorf("unexpected reason: %s", why)
+		}
+		if err := s.MigrateL1(c); err == nil {
+			t.Error("MigrateL1 should fail")
+		}
+		if err := p.Exit(); err != nil {
+			panic(err)
+		}
+	})
+	s.Eng.Wait()
+}
+
+func TestMigrationBareMetalHasNoL1(t *testing.T) {
+	s := NewSystem(KVMEPTBM, DefaultOptions())
+	if ok, _ := s.CanMigrateL1(); ok {
+		t.Error("bare metal has no L1 instance to migrate")
+	}
+}
+
+func TestVMCSShadowingExitStorm(t *testing.T) {
+	// §2.1: without VMCS shadowing, handling a single L2 world switch
+	// costs 40–50 exits to L0.
+	exitsPerTrip := func(shadowing bool) int64 {
+		opt := DefaultOptions()
+		opt.VMCSShadowing = shadowing
+		s := NewSystem(KVMEPTNST, opt)
+		g, err := s.NewGuest("g0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var exits int64
+		s.Eng.Go(0, func(c *vclock.CPU) {
+			p, err := g.Kern.NewProcess(c)
+			if err != nil {
+				panic(err)
+			}
+			before := s.Ctr.Snapshot().L0Exits
+			g.l2ToL1(c)
+			exits = s.Ctr.Snapshot().L0Exits - before
+			g.l1ToL2(c)
+			_ = p
+		})
+		s.Eng.Wait()
+		return exits
+	}
+	with := exitsPerTrip(true)
+	without := exitsPerTrip(false)
+	if with != 1 {
+		t.Errorf("exits per L2→L1 switch with shadowing = %d, want 1", with)
+	}
+	if without < 40 || without > 51 {
+		t.Errorf("exits per L2→L1 switch without shadowing = %d, want 40–50 (paper §2.1)", without)
+	}
+}
+
+func TestVMCS12AccessAccounting(t *testing.T) {
+	opt := DefaultOptions()
+	s := NewSystem(KVMEPTNST, opt)
+	g, err := s.NewGuest("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VMCS12() == nil {
+		t.Fatal("nested kvm guest missing VMCS12")
+	}
+	if !g.VMCS12().Shadowed {
+		t.Error("default options should enable VMCS shadowing")
+	}
+	g.Run(0, 2, func(p *guest.Process) {
+		base := p.Mmap(1)
+		p.Touch(base, true)
+	})
+	s.Eng.Wait()
+	r, w := g.VMCS12().Accesses()
+	if r == 0 || w == 0 {
+		t.Errorf("VMCS12 accesses = (%d, %d), want > 0 during nested exits", r, w)
+	}
+	// PVM guests have no VMCS12 at all — the design point.
+	s2 := NewSystem(PVMNST, opt)
+	g2, err := s2.NewGuest("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.VMCS12() != nil {
+		t.Error("pvm guest should not carry a VMCS12")
+	}
+}

@@ -1,0 +1,305 @@
+package backend
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/guest"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/tlb"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// newShadowPT allocates a shadow page table: same radix structure as a
+// guest table, maintained by a hypervisor from its own memory.
+func newShadowPT(alloc *mem.Allocator) *pagetable.PageTable {
+	pt, err := pagetable.New(alloc)
+	if err != nil {
+		panic(fmt.Sprintf("backend: allocating shadow table: %v", err))
+	}
+	return pt
+}
+
+// sptMMU implements traditional shadow paging: kvm-spt (BM) when nested is
+// false, SPT-on-EPT (§2.2, Figure 3a) when nested is true. The guest's page
+// table is write-protected; every guest PTE store and every shadow fault
+// traps to the hypervisor maintaining SPT12 — bouncing through L0 on every
+// leg in the nested case.
+type sptMMU struct {
+	g      *Guest
+	nested bool
+
+	// mmuLock is the shadowing hypervisor's global mmu_lock: the host
+	// kvm's per-VM lock on bare metal, the L1 kvm's per-L2-guest lock
+	// when nested.
+	mmuLock *vclock.Lock
+
+	// backing maps L2 guest-physical frames to the frames the shadow
+	// leaves point at: host-physical on bare metal, L1 guest-physical
+	// when nested.
+	mu      sync.Mutex
+	backing map[arch.PFN]arch.PFN
+}
+
+func newSPTMMU(g *Guest, nested bool) *sptMMU {
+	m := &sptMMU{g: g, nested: nested, backing: map[arch.PFN]arch.PFN{}}
+	if nested {
+		m.mmuLock = g.Sys.Eng.NewLock("l1-mmu:" + g.Name)
+	} else {
+		m.mmuLock = g.vm.MMULock
+	}
+	return m
+}
+
+// hold scales a critical-section hold time: a nested shadowing hypervisor's
+// emulation code reads L2 state through two translation layers, inflating
+// every hold (cost.Params.NestedSPTHoldPct).
+func (m *sptMMU) hold(ns int64) int64 {
+	if !m.nested {
+		return ns
+	}
+	return ns * m.g.Sys.Prm.NestedSPTHoldPct / 100
+}
+
+// tableAlloc returns the frame source for shadow tables: hypervisor memory.
+func (m *sptMMU) tableAlloc() *mem.Allocator {
+	if m.nested {
+		return m.g.Sys.L1.GPA
+	}
+	return m.g.Sys.Host.HPA
+}
+
+// exit and entry are one leg of a guest↔hypervisor trip in this
+// configuration's stack position.
+func (m *sptMMU) exit(c *vclock.CPU) {
+	if m.nested {
+		m.g.l2ToL1(c)
+	} else {
+		m.g.exitHW(c)
+	}
+}
+
+func (m *sptMMU) entry(c *vclock.CPU, p *guest.Process) {
+	if m.nested {
+		m.g.l1ToL2(c)
+	} else {
+		m.g.entryHW(c)
+	}
+}
+
+func (m *sptMMU) register(p *guest.Process) {
+	d := &procData{
+		tlb:      tlb.New(m.g.Sys.Opt.TLBEntries),
+		pcidUser: arch.PCID(p.PID) % arch.MaxPCID,
+	}
+	d.sptUser = newShadowPT(m.tableAlloc())
+	if m.g.Sys.Opt.KPTI {
+		d.sptKernel = newShadowPT(m.tableAlloc())
+	}
+	p.PlatformData = d
+	// Write-protect the guest page table: every store traps.
+	p.GPT.OnWrite = func(ev pagetable.WriteEvent) { m.onGPTWrite(p, ev) }
+}
+
+func (m *sptMMU) unregister(p *guest.Process) {
+	p.GPT.OnWrite = nil
+	d := pd(p)
+	// Unshadowing: zap and free the shadow tables under the mmu_lock.
+	hold := m.hold(m.g.Sys.Prm.SPTFix) + int64(d.sptUser.CountMapped())*20
+	m.mmuLock.With(p.CPU, hold, func() {
+		if err := d.sptUser.Destroy(); err != nil {
+			panic(err)
+		}
+		if d.sptKernel != nil {
+			if err := d.sptKernel.Destroy(); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// onGPTWrite emulates one write-protected guest PTE store: a full trap to
+// the shadowing hypervisor, the write applied and the shadow synchronized
+// under the mmu_lock, and a return to the guest.
+func (m *sptMMU) onGPTWrite(p *guest.Process, ev pagetable.WriteEvent) {
+	g := m.g
+	c := p.CPU
+	d := pd(p)
+	g.Sys.Ctr.PTEWriteTraps.Add(1)
+	m.exit(c)
+	m.mmuLock.With(c, m.hold(g.Sys.Prm.SPTEmulWrite), func() {
+		if ev.Leaf {
+			d.sptUser.Unmap(ev.VA) // zap; refixed on next access
+		}
+	})
+	if ev.Leaf {
+		d.tlb.FlushPage(g.VPID, d.pcidUser, ev.VA)
+	}
+	m.entry(c, p)
+}
+
+func (m *sptMMU) access(p *guest.Process, va arch.VA, write bool) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
+	d := pd(p)
+	va = va.PageDown()
+
+	if _, ok := d.tlb.Lookup(g.VPID, d.pcidUser, va, write); ok {
+		c.AdvanceLazy(1)
+		return
+	}
+	if e, ok := d.sptUser.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
+		m.refill(c, d, va, e)
+		return
+	}
+
+	// #PF on the shadow table: trap to the shadowing hypervisor.
+	m.exit(c)
+	c.AdvanceLazy(int64(arch.PTLevels) * prm.PageWalkLevel) // software GPT walk to classify
+
+	ge, gok := p.GPT.Lookup(va)
+	if !gok || (write && !ge.Flags.Has(pagetable.Writable)) {
+		// True guest fault: inject #PF and let the guest kernel fix
+		// its page table (each store traps via onGPTWrite), then the
+		// re-access faults on the shadow table again.
+		g.Sys.Ctr.GuestFaults.Add(1)
+		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest fault va=%#x", g.Name, p.PID, va)
+		m.entry(c, p)
+		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
+			panic(fmt.Sprintf("backend/spt: %v", err))
+		}
+		m.exit(c)
+	}
+	m.fixSPT(p, d, va)
+	m.entry(c, p)
+
+	e, ok := d.sptUser.Lookup(va)
+	if !ok {
+		panic("backend/spt: shadow entry missing after fix")
+	}
+	m.refill(c, d, va, e)
+}
+
+// refill charges the hardware TLB refill and caches the translation.
+func (m *sptMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry) {
+	prm := m.g.Sys.Prm
+	if m.nested {
+		c.AdvanceLazy(prm.TLBRefill2D) // SPT12 × EPT01 two-dimensional walk
+	} else {
+		c.AdvanceLazy(prm.TLBRefill1D)
+	}
+	d.tlb.Insert(m.g.VPID, d.pcidUser, va, tlb.Entry{
+		PFN:   e.PFN,
+		Write: e.Flags.Has(pagetable.Writable),
+	})
+}
+
+// fixSPT builds the shadow leaf for va under the mmu_lock: resolve the
+// guest mapping, find/allocate the backing frame, and map the shadow entry
+// with permissions matching the guest PTE (so COW pages stay read-only in
+// the shadow).
+func (m *sptMMU) fixSPT(p *guest.Process, d *procData, va arch.VA) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
+	ge, ok := p.GPT.Lookup(va)
+	if !ok {
+		panic("backend/spt: fixSPT with no guest mapping")
+	}
+	var l1gpa arch.PFN
+	hold := m.hold(prm.SPTFix)
+	m.mmuLock.With(c, 0, func() {
+		target, alloced := m.backingFrame(ge.PFN)
+		if alloced {
+			hold += prm.FrameAlloc
+		}
+		l1gpa = target
+		flags := pagetable.User
+		if ge.Flags.Has(pagetable.Writable) {
+			flags |= pagetable.Writable
+		}
+		if _, err := d.sptUser.Map(va, target, flags); err != nil {
+			panic(err)
+		}
+		c.Advance(hold)
+	})
+	g.Sys.Ctr.ShadowFaults.Add(1)
+	if m.nested {
+		// The L1 frame the shadow points at needs EPT01 backing
+		// (silent under the warm-instance assumption).
+		g.Sys.L1.EnsureBacking(c, l1gpa)
+	}
+}
+
+// backingFrame resolves (allocating if needed) the backing frame for an L2
+// guest-physical frame.
+func (m *sptMMU) backingFrame(gpa arch.PFN) (arch.PFN, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if t, ok := m.backing[gpa]; ok {
+		return t, false
+	}
+	var t arch.PFN
+	if m.nested {
+		t = m.g.Sys.L1.GPA.MustAlloc()
+	} else {
+		t = m.g.Sys.Host.HPA.MustAlloc()
+	}
+	m.backing[gpa] = t
+	return t, true
+}
+
+func (m *sptMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
+	g := m.g
+	d := pd(p)
+	d.tlb.FlushPage(g.VPID, d.pcidUser, va)
+	m.mu.Lock()
+	t, ok := m.backing[gpa]
+	if ok {
+		delete(m.backing, gpa)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	m.mmuLock.With(p.CPU, g.Sys.Prm.EPTFix/2, func() {
+		if m.nested {
+			if _, err := g.Sys.L1.GPA.Free(t); err != nil {
+				panic(err)
+			}
+		} else {
+			if _, err := g.Sys.Host.HPA.Free(t); err != nil {
+				panic(err)
+			}
+		}
+	})
+}
+
+// flushRange under traditional shadow paging: the guest's flush request
+// traps to the shadowing hypervisor, which — lacking per-address-space TLB
+// tags for the guest — must shoot down every vCPU of the guest under the
+// mmu_lock. In a nested deployment each remote kick is a full nested switch
+// (the cold-start penalty PVM's PCID mapping removes, §3.3.2).
+func (m *sptMMU) flushRange(p *guest.Process, pages int) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
+	m.exit(c)
+	kick := prm.ShootdownIPI
+	if m.nested {
+		kick = prm.NestedSwitchOneWay()
+	}
+	remote := int64(g.LiveProcs() - 1)
+	if remote < 0 {
+		remote = 0
+	}
+	hold := m.hold(int64(pages)*prm.FlushPTEScan) + remote*kick
+	m.mmuLock.With(c, hold, func() {
+		pd(p).tlb.FlushVPID(g.VPID)
+	})
+	m.entry(c, p)
+}

@@ -1,0 +1,139 @@
+package container
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/guest"
+	"repro/internal/workloads"
+)
+
+func TestContainerLifecycle(t *testing.T) {
+	s := backend.NewSystem(backend.PVMNST, backend.DefaultOptions())
+	rt := NewRuntime(s)
+	c, err := rt.Deploy("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.State() != Created {
+		t.Fatalf("state = %v, want created", c.State())
+	}
+	ran := false
+	c.Start(0, 32, func(p *guest.Process) {
+		ran = true
+		base := p.Mmap(8)
+		p.TouchRange(base, 8, true)
+	})
+	s.Eng.Wait()
+	if !ran {
+		t.Fatal("workload did not run")
+	}
+	if c.State() != Stopped {
+		t.Fatalf("state = %v, want stopped", c.State())
+	}
+	if c.StartupLatency() <= 0 || c.WorkloadTime() <= 0 {
+		t.Errorf("latencies: startup=%d workload=%d", c.StartupLatency(), c.WorkloadTime())
+	}
+}
+
+func TestStartupDeadlineFailure(t *testing.T) {
+	s := backend.NewSystem(backend.PVMNST, backend.DefaultOptions())
+	rt := NewRuntime(s)
+	rt.StartupDeadline = 1 // 1 ns: every boot misses it
+	c, err := rt.Deploy("c0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	c.Start(0, 16, func(p *guest.Process) { ran = true })
+	s.Eng.Wait()
+	if ran {
+		t.Error("workload ran despite failed startup")
+	}
+	if c.State() != Failed {
+		t.Errorf("state = %v, want failed", c.State())
+	}
+	if rt.Failures() != 1 {
+		t.Errorf("failures = %d, want 1", rt.Failures())
+	}
+	// Failed startups must not leak guest frames.
+	if got := c.Guest.Kern.GPA.InUse(); got != 0 {
+		t.Errorf("guest frames leaked after failed start: %d", got)
+	}
+}
+
+func TestFleetDeployment(t *testing.T) {
+	s := backend.NewSystem(backend.PVMNST, backend.DefaultOptions())
+	rt := NewRuntime(s)
+	cs, err := rt.DeployFleet(6, 32, 10_000, func(i int, p *guest.Process) {
+		workloads.Fluidanimate(p, 2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs) != 6 || len(rt.Containers()) != 6 {
+		t.Fatalf("fleet size = %d", len(cs))
+	}
+	mean, ok := container_mean(cs)
+	if !ok || mean <= 0 {
+		t.Fatalf("mean workload time = %d, ok=%v", mean, ok)
+	}
+	if rt.Failures() != 0 {
+		t.Errorf("failures = %d, want 0", rt.Failures())
+	}
+	for _, c := range cs {
+		if c.Guest == nil || c.State() != Stopped {
+			t.Errorf("container %s state %v", c.ID, c.State())
+		}
+	}
+}
+
+func container_mean(cs []*Container) (int64, bool) { return MeanWorkloadTime(cs) }
+
+func TestDensityFailureNestedKVM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("density run")
+	}
+	// At high density the hardware-assisted nested configuration's
+	// startups serialize on the L0 mmu_lock and exceed the runtime
+	// deadline; PVM's do not (Figure 12).
+	run := func(cfg backend.Config, n int) int {
+		opt := backend.DefaultOptions()
+		opt.Cores = 104
+		s := backend.NewSystem(cfg, opt)
+		rt := NewRuntime(s)
+		_, err := rt.DeployFleet(n, 32, 20_000, func(i int, p *guest.Process) {
+			workloads.Fluidanimate(p, 2)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rt.Failures()
+	}
+	if fails := run(backend.KVMEPTNST, 150); fails == 0 {
+		t.Error("kvm-ept (NST) at density 150 should fail container starts")
+	}
+	if fails := run(backend.PVMNST, 150); fails != 0 {
+		t.Errorf("pvm (NST) at density 150 failed %d containers, want 0", fails)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for _, st := range []State{Created, Running, Stopped, Failed} {
+		if st.String() == "" {
+			t.Errorf("state %d has no name", st)
+		}
+	}
+}
+
+func TestMeanSkipsFailures(t *testing.T) {
+	a := &Container{state: Stopped, workloadVirt: 100}
+	b := &Container{state: Failed}
+	m, ok := MeanWorkloadTime([]*Container{a, b})
+	if !ok || m != 100 {
+		t.Errorf("mean = %d/%v, want 100/true", m, ok)
+	}
+	if _, ok := MeanWorkloadTime([]*Container{b}); ok {
+		t.Error("all-failed fleet should report no mean")
+	}
+}

@@ -1,0 +1,28 @@
+// Package core implements the PVM guest hypervisor's primary mechanisms —
+// the paper's contribution (§3):
+//
+//   - Switcher: the per-CPU entry area mapped at an identical virtual
+//     address into the L1 hypervisor, L2 guest kernel, and L2 guest user
+//     address spaces, performing world switches without any L0 involvement
+//     and emulating syscall/sysret locally (direct switch, Figure 8).
+//
+//   - ShadowSpace: the dual shadow page tables (guest user / guest kernel,
+//     simulating KPTI for the L2 guest at the hypervisor level) with the
+//     prefault optimization.
+//
+//   - LockSet: the fine-grained shadow-page-table locking scheme — a short
+//     meta-lock for inter-shadow-page structures, per-shadow-page pt_locks,
+//     and per-GFN rmap_locks — replacing KVM's global mmu_lock.
+//
+//   - PCIDAllocator: the PCID-mapping optimization assigning L1's unused
+//     PCIDs 32–47 (guest kernel) and 48–63 (guest user) to L2 address
+//     spaces, eliminating TLB flushes on world switches.
+//
+//   - Surface: attack-surface accounting comparing PVM's ~22-entry
+//     hypercall interface against the 250+ syscalls a traditional container
+//     exposes to the host kernel (§5).
+//
+// The per-configuration world-switch choreography that drives these
+// mechanisms lives in package backend; everything here is deployment-
+// agnostic.
+package core

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/vclock"
+)
+
+// ShadowSpace is the pair of shadow page tables PVM maintains per L2
+// process: one for the guest user context and one for the guest kernel
+// context, simulating KPTI for the guest at the hypervisor level (§3.3.2).
+// The user table carries the translations workloads touch; the kernel table
+// exists to isolate guest-kernel mappings from guest user space.
+type ShadowSpace struct {
+	User   *pagetable.PageTable
+	Kernel *pagetable.PageTable
+}
+
+// NewShadowSpace builds both shadow tables from hypervisor memory and maps
+// the switcher into each.
+func NewShadowSpace(alloc *mem.Allocator, sw *Switcher) *ShadowSpace {
+	u, err := pagetable.New(alloc)
+	if err != nil {
+		panic(fmt.Sprintf("core: allocating user shadow table: %v", err))
+	}
+	k, err := pagetable.New(alloc)
+	if err != nil {
+		panic(fmt.Sprintf("core: allocating kernel shadow table: %v", err))
+	}
+	s := &ShadowSpace{User: u, Kernel: k}
+	if sw != nil {
+		sw.MapInto(u)
+		sw.MapInto(k)
+	}
+	return s
+}
+
+// Install writes a user-space shadow leaf with permissions mirroring the
+// guest PTE flags.
+func (s *ShadowSpace) Install(va arch.VA, target arch.PFN, guestFlags pagetable.Flags) {
+	flags := pagetable.User
+	if guestFlags.Has(pagetable.Writable) {
+		flags |= pagetable.Writable
+	}
+	if _, err := s.User.Map(va, target, flags); err != nil {
+		panic(fmt.Sprintf("core: installing shadow leaf: %v", err))
+	}
+}
+
+// Zap drops the user-space shadow leaf for va (write-protection sync).
+func (s *ShadowSpace) Zap(va arch.VA) bool { return s.User.Unmap(va) }
+
+// Lookup peeks at the user-space shadow leaf.
+func (s *ShadowSpace) Lookup(va arch.VA) (pagetable.Entry, bool) {
+	return s.User.Lookup(va)
+}
+
+// Destroy releases both tables' frames.
+func (s *ShadowSpace) Destroy() error {
+	if err := s.User.Destroy(); err != nil {
+		return err
+	}
+	return s.Kernel.Destroy()
+}
+
+// MappedLeaves returns the number of live user-space shadow leaves.
+func (s *ShadowSpace) MappedLeaves() int { return s.User.CountMapped() }
+
+// LockMode selects between KVM's traditional global mmu_lock and PVM's
+// fine-grained scheme.
+type LockMode uint8
+
+const (
+	// CoarseLock serializes all shadow maintenance on one mmu_lock.
+	CoarseLock LockMode = iota
+	// FineLock uses the paper's three-way split: meta-lock for
+	// inter-shadow-page structures, per-shadow-page pt_locks for
+	// intra-shadow-page updates, per-GFN rmap_locks for reverse
+	// mappings.
+	FineLock
+)
+
+func (m LockMode) String() string {
+	if m == FineLock {
+		return "fine"
+	}
+	return "coarse"
+}
+
+// ptKey identifies one shadow page (the leaf-table span covering a VA) for
+// the pt_lock map.
+type ptKey struct {
+	owner int // address-space identity (process id)
+	span  arch.VA
+}
+
+// LockSet is the shadow-page-table lock hierarchy of one PVM guest.
+type LockSet struct {
+	Mode LockMode
+
+	// Meta protects inter-shadow-page structures (shadow page
+	// collections, parent/child links).
+	Meta *vclock.Lock
+
+	// Coarse is the single mmu_lock used in CoarseLock mode.
+	Coarse *vclock.Lock
+
+	eng *vclock.Engine
+
+	ptMu    sync.Mutex
+	ptLocks map[ptKey]*vclock.Lock
+
+	rmapMu    sync.Mutex
+	rmapLocks map[arch.PFN]*vclock.Lock
+}
+
+// NewLockSet builds a lock set for one guest.
+func NewLockSet(eng *vclock.Engine, guestName string, mode LockMode) *LockSet {
+	return &LockSet{
+		Mode:      mode,
+		Meta:      eng.NewLock("pvm-meta:" + guestName),
+		Coarse:    eng.NewLock("pvm-mmu:" + guestName),
+		eng:       eng,
+		ptLocks:   map[ptKey]*vclock.Lock{},
+		rmapLocks: map[arch.PFN]*vclock.Lock{},
+	}
+}
+
+// PT returns the pt_lock covering va in the given address space.
+func (ls *LockSet) PT(owner int, va arch.VA) *vclock.Lock {
+	k := ptKey{owner: owner, span: va >> (arch.PageShift + arch.IndexBits)}
+	ls.ptMu.Lock()
+	defer ls.ptMu.Unlock()
+	l, ok := ls.ptLocks[k]
+	if !ok {
+		l = ls.eng.NewLock("pvm-pt")
+		ls.ptLocks[k] = l
+	}
+	return l
+}
+
+// Rmap returns the rmap_lock of a guest frame.
+func (ls *LockSet) Rmap(gfn arch.PFN) *vclock.Lock {
+	ls.rmapMu.Lock()
+	defer ls.rmapMu.Unlock()
+	l, ok := ls.rmapLocks[gfn]
+	if !ok {
+		l = ls.eng.NewLock("pvm-rmap")
+		ls.rmapLocks[gfn] = l
+	}
+	return l
+}
+
+// PTLockCount returns how many distinct pt_locks have been created (a proxy
+// for shadow-page granularity in tests).
+func (ls *LockSet) PTLockCount() int {
+	ls.ptMu.Lock()
+	defer ls.ptMu.Unlock()
+	return len(ls.ptLocks)
+}
+
+// PCIDAllocator implements the PCID-mapping optimization (§3.3.2): L1's
+// unused PCIDs 32–47 are handed to L2 guest-kernel (v_ring0) address spaces
+// and 48–63 to guest-user (v_ring3) ones, so the TLB can tell individual L2
+// shadow address spaces apart and world switches need no flush.
+type PCIDAllocator struct {
+	mu         sync.Mutex
+	nextUser   arch.PCID
+	nextKernel arch.PCID
+}
+
+// NewPCIDAllocator returns an allocator positioned at the window bases.
+func NewPCIDAllocator() *PCIDAllocator {
+	return &PCIDAllocator{
+		nextUser:   arch.PVMUserPCIDBase,
+		nextKernel: arch.PVMKernelPCIDBase,
+	}
+}
+
+// Alloc hands out a (user, kernel) PCID pair, wrapping within the windows.
+func (a *PCIDAllocator) Alloc() (user, kernel arch.PCID) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	user, kernel = a.nextUser, a.nextKernel
+	a.nextUser++
+	if a.nextUser >= arch.PVMUserPCIDBase+arch.PCID(arch.PVMUserPCIDLen) {
+		a.nextUser = arch.PVMUserPCIDBase
+	}
+	a.nextKernel++
+	if a.nextKernel >= arch.PVMKernelPCIDBase+arch.PCID(arch.PVMKernelPCIDLen) {
+		a.nextKernel = arch.PVMKernelPCIDBase
+	}
+	return user, kernel
+}

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Surface quantifies the attack surface exposed to the layer below a
+// workload, following the paper's two metrics (§5): the size of the exposed
+// interface and the depth of compromise required to reach the host kernel.
+type Surface struct {
+	Deployment string
+	// Interfaces is the number of entry points the tenant can invoke on
+	// the trusted layer directly below it.
+	Interfaces int
+	// DefenseLayers is how many distinct privileged components must be
+	// compromised before the tenant reaches the (L1) host kernel.
+	DefenseLayers int
+}
+
+// DefaultSeccompSyscalls is the approximate syscall count a traditional
+// container can reach under Docker's default seccomp profile.
+const DefaultSeccompSyscalls = 250
+
+// TraditionalContainerSurface is a namespaced container sharing the host
+// kernel: 250+ syscalls, no intermediate layer.
+func TraditionalContainerSurface() Surface {
+	return Surface{
+		Deployment:    "traditional container",
+		Interfaces:    DefaultSeccompSyscalls,
+		DefenseLayers: 1,
+	}
+}
+
+// PVMSecureContainerSurface is a secure container in a PVM L2 guest: the
+// host-facing interface is PVM's hypercall table (~22 entries), and an
+// attacker must compromise both the L2 guest kernel and the PVM hypervisor
+// before touching the L1 host kernel.
+func PVMSecureContainerSurface() Surface {
+	return Surface{
+		Deployment:    "pvm secure container",
+		Interfaces:    int(arch.NumHypercalls),
+		DefenseLayers: 2,
+	}
+}
+
+// Narrower reports whether s exposes a strictly smaller interface with at
+// least as many defense layers as other.
+func (s Surface) Narrower(other Surface) bool {
+	return s.Interfaces < other.Interfaces && s.DefenseLayers >= other.DefenseLayers
+}
+
+func (s Surface) String() string {
+	return fmt.Sprintf("%s: %d interfaces, %d defense layer(s)",
+		s.Deployment, s.Interfaces, s.DefenseLayers)
+}

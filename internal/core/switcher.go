@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/interrupt"
+	"repro/internal/mem"
+	"repro/internal/pagetable"
+	"repro/internal/vmx"
+)
+
+// Switcher is PVM's per-guest switcher (§3.2): a small region of code and
+// per-CPU state mapped at an identical virtual address (arch.SwitcherBase)
+// into the L1 hypervisor, the L2 guest kernel, and the L2 guest user address
+// spaces, with a customized IDT capturing every interrupt and exception —
+// even mid-world-switch.
+//
+// Its pages are mapped Global so their TLB entries survive the PCID-targeted
+// flushes that PVM's PCID mapping makes possible.
+type Switcher struct {
+	Base arch.VA
+	IDT  *interrupt.IDT
+
+	// SharedIF is the 8-byte word virtualizing RFLAGS.IF between the L2
+	// guest and the PVM hypervisor (§3.3.3): the guest toggles it
+	// without exiting; the hypervisor reads it to decide whether a
+	// virtual interrupt may be injected.
+	SharedIF *interrupt.SharedIF
+
+	// text and statePage are the switcher's frames (entry code and the
+	// per-CPU switcher state area).
+	text      arch.PFN
+	statePage arch.PFN
+
+	directSwitches int64
+}
+
+// NewSwitcher allocates the switcher's frames from the hypervisor's memory.
+func NewSwitcher(alloc *mem.Allocator) *Switcher {
+	return &Switcher{
+		Base:      arch.SwitcherBase,
+		IDT:       interrupt.NewIDT(arch.SwitcherBase+arch.PageSize, true),
+		SharedIF:  &interrupt.SharedIF{},
+		text:      alloc.MustAlloc(),
+		statePage: alloc.MustAlloc(),
+	}
+}
+
+// MapInto installs the switcher's pages as global mappings in a shadow
+// address space.
+func (sw *Switcher) MapInto(t *pagetable.PageTable) {
+	for i, pfn := range []arch.PFN{sw.text, sw.statePage} {
+		va := sw.Base + arch.VA(i)*arch.PageSize
+		if _, err := t.Map(va, pfn, pagetable.Global|pagetable.Writable); err != nil {
+			panic(fmt.Sprintf("core: mapping switcher: %v", err))
+		}
+	}
+}
+
+// MappedIn reports whether the switcher pages are present in the table.
+func (sw *Switcher) MappedIn(t *pagetable.PageTable) bool {
+	for i := 0; i < 2; i++ {
+		if _, ok := t.Lookup(sw.Base + arch.VA(i)*arch.PageSize); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// RecordDirectSwitch counts one syscall served entirely inside the switcher
+// (no hypervisor entry).
+func (sw *Switcher) RecordDirectSwitch() { sw.directSwitches++ }
+
+// DirectSwitches returns the number of direct switches performed.
+func (sw *Switcher) DirectSwitches() int64 { return sw.directSwitches }
+
+// NewVCPUState returns a fresh per-vCPU switcher state slot (the PVM
+// analogue of a VMCS, held in the per-CPU entry area).
+func (sw *Switcher) NewVCPUState() *vmx.PerVCPUSwitcherState {
+	return &vmx.PerVCPUSwitcherState{}
+}

@@ -1,0 +1,152 @@
+package cost
+
+import "testing"
+
+// The defaults are calibrated so mechanically composed costs land on the
+// paper's published measurements. These tests pin the calibration.
+
+func TestWorldSwitchCalibration(t *testing.T) {
+	p := Default()
+	if p.SwitchHW != 105 {
+		t.Errorf("single-level world switch = %d ns, paper: 105 ns", p.SwitchHW)
+	}
+	if p.SwitchPVM != 179 {
+		t.Errorf("PVM world switch = %d ns, paper: 179 ns", p.SwitchPVM)
+	}
+	if got := p.NestedSwitchOneWay(); got != 1300 {
+		t.Errorf("nested world switch = %d ns, paper: 1300 ns", got)
+	}
+	if got := p.NestedReturnOneWay(); got != 1300 {
+		t.Errorf("nested return switch = %d ns, paper: 1300 ns", got)
+	}
+}
+
+func TestTable1Composition(t *testing.T) {
+	p := Default()
+	// kvm (BM) hypercall round trip: exit + handler + entry ≈ 0.46 µs.
+	if got := 2*p.SwitchHW + p.HandlerHypercall; got != 460 {
+		t.Errorf("kvm(BM) hypercall = %d ns, want 460", got)
+	}
+	// kvm (BM) exception ≈ 1.66 µs.
+	if got := 2*p.SwitchHW + p.HandlerException; got != 1660 {
+		t.Errorf("kvm(BM) exception = %d ns, want 1660", got)
+	}
+	// pvm (BM) hypercall ≈ 0.54 µs.
+	if got := 2*p.SwitchPVM + p.PVMHandlerHypercall; got != 538 {
+		t.Errorf("pvm(BM) hypercall = %d ns, want 538", got)
+	}
+	// pvm (BM) MSR trap-and-emulate ≈ 2.53 µs.
+	if got := 2*p.SwitchPVM + p.PVMEmulatePriv + p.PVMHandlerMSR; got != 2528 {
+		t.Errorf("pvm(BM) msr = %d ns, want 2528", got)
+	}
+	// kvm (NST) hypercall ≈ 7.43 µs: two nested legs + housekeeping + handler.
+	got := p.NestedSwitchOneWay() + p.NestedReturnOneWay() + p.NestedExitHousekeeping + p.HandlerHypercall
+	if got < 6500 || got > 8000 {
+		t.Errorf("kvm(NST) hypercall = %d ns, want ≈7430", got)
+	}
+}
+
+func TestTable2Composition(t *testing.T) {
+	p := Default()
+	// kvm-ept (BM), KPTI on: ≈ 0.22 µs.
+	if got := p.SyscallHW + p.SyscallBody; got != 210 {
+		t.Errorf("kvm-ept syscall = %d ns, want 210", got)
+	}
+	// kvm-ept (BM), KPTI off: ≈ 0.06 µs.
+	if got := p.SyscallHWNoKPTI + p.SyscallBody; got != 60 {
+		t.Errorf("kvm-ept syscall (no KPTI) = %d ns, want 60", got)
+	}
+	// kvm-spt (BM), KPTI on: two trapped CR3 loads ≈ 2.09 µs.
+	if got := 2*(2*p.SwitchHW+p.SPTCR3Switch) + p.SyscallBody; got != 2130 {
+		t.Errorf("kvm-spt syscall = %d ns, want 2130", got)
+	}
+	// pvm direct switch ≈ 0.29 µs.
+	if got := 2*p.SwitchDirect + p.SyscallFrameSetup + p.SyscallBody; got != 290 {
+		t.Errorf("pvm direct-switch syscall = %d ns, want 290", got)
+	}
+	// pvm without direct switch ≈ 1.91 µs.
+	if got := 4*p.SwitchPVM + p.PVMSyscallForward + p.SyscallBody; got != 1906 {
+		t.Errorf("pvm full-exit syscall = %d ns, want 1906", got)
+	}
+}
+
+func TestPVMSwitchCheaperThanNested(t *testing.T) {
+	p := Default()
+	if !(p.SwitchPVM < p.NestedSwitchOneWay()/5) {
+		t.Errorf("PVM switch (%d) should be ~an order of magnitude cheaper than nested (%d)",
+			p.SwitchPVM, p.NestedSwitchOneWay())
+	}
+	if !(p.SwitchHW < p.SwitchPVM) {
+		t.Errorf("hardware switch (%d) should undercut PVM's software switch (%d)",
+			p.SwitchHW, p.SwitchPVM)
+	}
+}
+
+func TestAllDefaultsPositive(t *testing.T) {
+	p := Default()
+	check := func(name string, v int64) {
+		if v <= 0 {
+			t.Errorf("%s = %d, want > 0", name, v)
+		}
+	}
+	check("SwitchHW", p.SwitchHW)
+	check("SwitchPVM", p.SwitchPVM)
+	check("SwitchDirect", p.SwitchDirect)
+	check("NestedInjectL1", p.NestedInjectL1)
+	check("NestedMergeVMCS02", p.NestedMergeVMCS02)
+	check("NestedExitHousekeeping", p.NestedExitHousekeeping)
+	check("SyscallHW", p.SyscallHW)
+	check("SyscallHWNoKPTI", p.SyscallHWNoKPTI)
+	check("SyscallBody", p.SyscallBody)
+	check("SPTCR3Switch", p.SPTCR3Switch)
+	check("SyscallFrameSetup", p.SyscallFrameSetup)
+	check("PVMSyscallForward", p.PVMSyscallForward)
+	check("HandlerHypercall", p.HandlerHypercall)
+	check("HandlerException", p.HandlerException)
+	check("HandlerMSR", p.HandlerMSR)
+	check("HandlerMSRKVM", p.HandlerMSRKVM)
+	check("HandlerCPUID", p.HandlerCPUID)
+	check("HandlerPIO", p.HandlerPIO)
+	check("HandlerPIOUser", p.HandlerPIOUser)
+	check("PVMEmulatePriv", p.PVMEmulatePriv)
+	check("PVMHandlerHypercall", p.PVMHandlerHypercall)
+	check("PVMHandlerException", p.PVMHandlerException)
+	check("PVMHandlerMSR", p.PVMHandlerMSR)
+	check("PVMHandlerCPUID", p.PVMHandlerCPUID)
+	check("PVMHandlerPIO", p.PVMHandlerPIO)
+	check("PIONestedL0Work", p.PIONestedL0Work)
+	check("PTEWrite", p.PTEWrite)
+	check("PageWalkLevel", p.PageWalkLevel)
+	check("TLBRefill1D", p.TLBRefill1D)
+	check("TLBRefill2D", p.TLBRefill2D)
+	check("TLBFlushPCID", p.TLBFlushPCID)
+	check("TLBFlushVPID", p.TLBFlushVPID)
+	check("GuestFaultEntry", p.GuestFaultEntry)
+	check("ExceptionDelivery", p.ExceptionDelivery)
+	check("FrameAlloc", p.FrameAlloc)
+	check("CopyPage", p.CopyPage)
+	check("EPTFix", p.EPTFix)
+	check("SPTFix", p.SPTFix)
+	check("SPTEmulWrite", p.SPTEmulWrite)
+	check("PVMSPTFix", p.PVMSPTFix)
+	check("PVMEmulWrite", p.PVMEmulWrite)
+	check("ShootdownIPI", p.ShootdownIPI)
+	check("FlushPTEScan", p.FlushPTEScan)
+	check("EPT02Compress", p.EPT02Compress)
+	check("Prefault", p.Prefault)
+	check("MetaHold", p.MetaHold)
+	check("RmapHold", p.RmapHold)
+	check("TLBFlushPenalty", p.TLBFlushPenalty)
+	check("InterruptInjectKVM", p.InterruptInjectKVM)
+	check("InterruptInjectPVM", p.InterruptInjectPVM)
+	check("HaltWakeHW", p.HaltWakeHW)
+	check("HaltWakePVM", p.HaltWakePVM)
+	check("VirtioKick", p.VirtioKick)
+	check("VirtioComplete", p.VirtioComplete)
+	check("BlockLatency", p.BlockLatency)
+	check("NetLatency", p.NetLatency)
+	check("ComputeGrain", p.ComputeGrain)
+	if p.PIONestedExtraTrips <= 0 {
+		t.Error("PIONestedExtraTrips must be positive")
+	}
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/backend"
+	"repro/internal/guest"
+	"repro/internal/lmbench"
+	"repro/internal/metrics"
+)
+
+func init() {
+	register(Experiment{ID: "netctx", Title: "Network latency/bandwidth and context switches (the §4.2 networking note)", Run: netctx})
+}
+
+// netctx regenerates the paper's §4.2 networking observation (results track
+// the file-system tests: PVM ≈ KVM in both single-level and nested
+// deployments) plus the lat_ctx address-space-switch latency, which isolates
+// the CR3-load path each design pays.
+func netctx(sc Scale, w io.Writer) error {
+	t := &metrics.Table{
+		Title:   "Network & context switches",
+		Columns: []string{"tcp lat (µs)", "tcp bw (MB/s)", "lat_ctx (µs)"},
+	}
+	for _, cfg := range paperConfigs() {
+		var lat, ctx int64
+		var bw float64
+		measureOn(cfg, backend.DefaultOptions(), 32, func(p *guest.Process) int64 {
+			lat = lmbench.TCPLatency(p, sc.LMIters).PerOp()
+			bw = lmbench.TCPBandwidthMBps(p, 4)
+			ctx = lmbench.CtxSwitch(p, sc.LMIters).PerOp()
+			return 0
+		})
+		t.Rows = append(t.Rows, metrics.TableRow{
+			Label: cfg.String(),
+			Cells: []string{us(lat), fmt.Sprintf("%.0f", bw), us(ctx)},
+		})
+	}
+	_, err := io.WriteString(w, t.Format())
+	return err
+}

@@ -1,0 +1,46 @@
+package insn
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/arch"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the decoder, and anything it
+// accepts must re-encode to the bytes it consumed.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{byte(WRMSR), 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{byte(HLT), 0})
+	f.Add([]byte{0xff, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ins, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n < 2 || n > len(data) {
+			t.Fatalf("decoded length %d out of range (input %d)", n, len(data))
+		}
+		re := Encode(ins)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:n])
+		}
+	})
+}
+
+// FuzzEmulator: any decodable instruction stream must execute without panics
+// on a fresh vCPU state (benign instructions are rejected, not executed).
+func FuzzEmulator(f *testing.F) {
+	f.Add([]byte{byte(MOVToCR3), 0, 8, 7, 6, 5, 4, 3, 2, 1, byte(STI), 0, byte(HLT), 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := NewEmulator(&arch.Registers{})
+		for len(data) >= 2 {
+			n, err := e.ExecuteBytes(data)
+			if err != nil {
+				return
+			}
+			data = data[n:]
+		}
+	})
+}

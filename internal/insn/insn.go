@@ -1,0 +1,353 @@
+// Package insn implements the instruction machinery behind PVM's CPU
+// virtualization (§3.3.1): a decoder and emulator for the privileged and
+// sensitive instructions a de-privileged L2 guest executes.
+//
+// With the guest at hardware ring 3, privileged instructions raise #GP into
+// the switcher and PVM's instruction simulator decodes and emulates them
+// against the vCPU's architectural state. Sensitive-but-unprivileged
+// instructions (the reason "x86 is not fully virtualizable" — Popek &
+// Goldberg, cited as [42]) cannot trap and are instead replaced through the
+// Linux paravirt interfaces (pv_cpu_ops / pv_mmu_ops / pv_irq_ops); the
+// classification tables here drive that decision. The 22 hottest privileged
+// operations bypass emulation entirely via hypercalls (arch.HypercallNR).
+//
+// The instruction encoding is a simplified, fixed-format stand-in for x86:
+// one opcode byte, one register/operand byte, and an optional 8-byte
+// immediate — enough to exercise decode, classification, and emulation
+// logic without reproducing x86's variable-length encoding.
+package insn
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/arch"
+)
+
+// Opcode identifies one simulated instruction.
+type Opcode uint8
+
+const (
+	BAD Opcode = iota
+	MOVToCR3
+	MOVFromCR3
+	RDMSR
+	WRMSR
+	CPUID
+	HLT
+	INVLPG
+	IRET
+	SYSRET
+	LGDT
+	LIDT
+	LTR
+	STI
+	CLI
+	PUSHF
+	POPF
+	IN
+	OUT
+	RDTSC
+	SWAPGS
+	WBINVD
+	MOVDR
+	SGDT
+	SIDT
+	SMSW
+	numOpcodes
+)
+
+var opNames = [numOpcodes]string{
+	"bad", "mov-cr3", "mov-from-cr3", "rdmsr", "wrmsr", "cpuid", "hlt",
+	"invlpg", "iret", "sysret", "lgdt", "lidt", "ltr", "sti", "cli",
+	"pushf", "popf", "in", "out", "rdtsc", "swapgs", "wbinvd", "mov-dr",
+	"sgdt", "sidt", "smsw",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class is the virtualization classification of an instruction.
+type Class uint8
+
+const (
+	// Benign instructions execute identically at any privilege level.
+	Benign Class = iota
+	// Privileged instructions raise #GP at CPL3 — they trap into the
+	// switcher and are emulated (or served by hypercall).
+	Privileged
+	// Sensitive instructions do NOT trap at CPL3 yet read or write
+	// privileged state — the Popek-Goldberg violations that force
+	// paravirtual replacement via pv_*_ops.
+	Sensitive
+)
+
+func (c Class) String() string {
+	switch c {
+	case Privileged:
+		return "privileged"
+	case Sensitive:
+		return "sensitive"
+	default:
+		return "benign"
+	}
+}
+
+// Classify returns an opcode's virtualization class.
+func Classify(op Opcode) Class {
+	switch op {
+	case MOVToCR3, MOVFromCR3, RDMSR, WRMSR, HLT, INVLPG, IRET, SYSRET,
+		LGDT, LIDT, LTR, STI, CLI, IN, OUT, SWAPGS, WBINVD, MOVDR:
+		return Privileged
+	case PUSHF, POPF, SGDT, SIDT, SMSW, RDTSC:
+		// PUSHF/POPF silently drop IF changes at CPL3; SGDT/SIDT/SMSW
+		// leak privileged state without trapping; RDTSC is
+		// configurable but treated as sensitive here.
+		return Sensitive
+	default:
+		return Benign
+	}
+}
+
+// HypercallFor returns the PVM hypercall that replaces an instruction on
+// the fast path, if one of the 22 exists (§3.3.1).
+func HypercallFor(op Opcode) (arch.HypercallNR, bool) {
+	switch op {
+	case IRET:
+		return arch.HCIret, true
+	case SYSRET:
+		return arch.HCSysret, true
+	case WRMSR:
+		return arch.HCWrMSR, true
+	case RDMSR:
+		return arch.HCRdMSR, true
+	case MOVToCR3:
+		return arch.HCLoadCR3, true
+	case INVLPG:
+		return arch.HCFlushTLBPage, true
+	case HLT:
+		return arch.HCHalt, true
+	case IN, OUT:
+		return arch.HCIOPort, true
+	case LIDT:
+		return arch.HCSetIDTEntry, true
+	case SWAPGS:
+		return arch.HCLoadGS, true
+	case RDTSC:
+		return arch.HCClockRead, true
+	}
+	return 0, false
+}
+
+// Instruction is one decoded instruction.
+type Instruction struct {
+	Op  Opcode
+	Reg uint8  // register/port selector
+	Imm uint64 // immediate operand (address, MSR index, value)
+}
+
+// hasImm reports whether the opcode carries an 8-byte immediate.
+func hasImm(op Opcode) bool {
+	switch op {
+	case MOVToCR3, WRMSR, INVLPG, LGDT, LIDT, OUT, MOVDR, RDMSR, IN:
+		return true
+	}
+	return false
+}
+
+// EncodedLen returns the encoded byte length of an instruction.
+func EncodedLen(op Opcode) int {
+	if hasImm(op) {
+		return 2 + 8
+	}
+	return 2
+}
+
+// Encode serializes an instruction in the simulator's fixed format.
+func Encode(ins Instruction) []byte {
+	buf := make([]byte, EncodedLen(ins.Op))
+	buf[0] = byte(ins.Op)
+	buf[1] = ins.Reg
+	if hasImm(ins.Op) {
+		binary.LittleEndian.PutUint64(buf[2:], ins.Imm)
+	}
+	return buf
+}
+
+// Decoding errors.
+var (
+	ErrTruncated = errors.New("insn: truncated instruction bytes")
+	ErrBadOpcode = errors.New("insn: invalid opcode")
+)
+
+// Decode parses one instruction, returning it and its encoded length.
+func Decode(b []byte) (Instruction, int, error) {
+	if len(b) < 2 {
+		return Instruction{}, 0, ErrTruncated
+	}
+	op := Opcode(b[0])
+	if op == BAD || op >= numOpcodes {
+		return Instruction{}, 0, fmt.Errorf("%w: %#x", ErrBadOpcode, b[0])
+	}
+	ins := Instruction{Op: op, Reg: b[1]}
+	n := 2
+	if hasImm(op) {
+		if len(b) < 10 {
+			return Instruction{}, 0, ErrTruncated
+		}
+		ins.Imm = binary.LittleEndian.Uint64(b[2:])
+		n = 10
+	}
+	return ins, n, nil
+}
+
+// Hooks connect the emulator to the surrounding virtualization stack.
+type Hooks struct {
+	// OnCR3Write observes address-space switches.
+	OnCR3Write func(root arch.PFN)
+	// OnTLBFlush observes INVLPG (va) and full flushes (va == 0, all).
+	OnTLBFlush func(va arch.VA, all bool)
+	// OnHalt parks the vCPU.
+	OnHalt func()
+	// OnIO performs a port access; in == true for IN.
+	OnIO func(port uint16, in bool)
+	// OnSetIF observes interrupt-flag changes (PVM forwards these to
+	// the shared IF word).
+	OnSetIF func(enabled bool)
+}
+
+// Emulator executes decoded instructions against a vCPU's architectural
+// state — PVM's instruction simulator.
+type Emulator struct {
+	Regs  *arch.Registers
+	MSRs  map[uint32]uint64
+	TSC   uint64
+	Hooks Hooks
+
+	// Emulated counts successfully emulated instructions.
+	Emulated int64
+}
+
+// NewEmulator creates an emulator over the given register state.
+func NewEmulator(regs *arch.Registers) *Emulator {
+	return &Emulator{Regs: regs, MSRs: map[uint32]uint64{}}
+}
+
+// ErrNotEmulable marks instructions the simulator refuses (benign ones
+// should never trap; BAD raises #UD).
+var ErrNotEmulable = errors.New("insn: instruction not emulable")
+
+// Execute emulates one instruction, updating architectural state and firing
+// hooks. Sensitive instructions are accepted too (the pv_ops replacements
+// route here in the simulation).
+func (e *Emulator) Execute(ins Instruction) error {
+	switch ins.Op {
+	case MOVToCR3:
+		e.Regs.CR3 = arch.PFN(ins.Imm)
+		if e.Hooks.OnCR3Write != nil {
+			e.Hooks.OnCR3Write(e.Regs.CR3)
+		}
+		if e.Hooks.OnTLBFlush != nil {
+			e.Hooks.OnTLBFlush(0, true) // CR3 load flushes non-global
+		}
+	case MOVFromCR3:
+		// Value lands in the (unmodeled) destination register.
+	case RDMSR:
+		// Reads MSRs[Imm]; result goes to the destination register.
+		_ = e.MSRs[uint32(ins.Imm)]
+	case WRMSR:
+		e.MSRs[uint32(ins.Imm)] = uint64(ins.Reg) // payload stand-in
+	case CPUID:
+		// Leaf select by Reg; pure read.
+	case HLT:
+		if e.Hooks.OnHalt != nil {
+			e.Hooks.OnHalt()
+		}
+	case INVLPG:
+		if e.Hooks.OnTLBFlush != nil {
+			e.Hooks.OnTLBFlush(arch.VA(ins.Imm), false)
+		}
+	case IRET, SYSRET:
+		e.Regs.Ring = arch.Ring3
+		e.Regs.FlagsIF = true
+		if e.Hooks.OnSetIF != nil {
+			e.Hooks.OnSetIF(true)
+		}
+	case LGDT, LIDT, LTR, MOVDR, WBINVD, SWAPGS:
+		// Descriptor/debug state not modeled beyond acceptance.
+		if ins.Op == LIDT {
+			e.Regs.IDTR = arch.VA(ins.Imm)
+		}
+	case STI:
+		e.Regs.FlagsIF = true
+		if e.Hooks.OnSetIF != nil {
+			e.Hooks.OnSetIF(true)
+		}
+	case CLI:
+		e.Regs.FlagsIF = false
+		if e.Hooks.OnSetIF != nil {
+			e.Hooks.OnSetIF(false)
+		}
+	case PUSHF, POPF, SGDT, SIDT, SMSW:
+		// Sensitive reads/writes; state exposure is the issue, the
+		// emulation itself is trivial.
+		if ins.Op == POPF {
+			// At CPL3 the IF change is silently dropped by real
+			// hardware; the pv replacement honours it.
+			e.Regs.FlagsIF = ins.Reg&1 != 0
+			if e.Hooks.OnSetIF != nil {
+				e.Hooks.OnSetIF(e.Regs.FlagsIF)
+			}
+		}
+	case RDTSC:
+		e.TSC += 1
+	case IN, OUT:
+		if e.Hooks.OnIO != nil {
+			e.Hooks.OnIO(uint16(ins.Imm), ins.Op == IN)
+		}
+	default:
+		return fmt.Errorf("%w: %v", ErrNotEmulable, ins.Op)
+	}
+	e.Emulated++
+	return nil
+}
+
+// ExecuteBytes decodes and executes one instruction from raw bytes, as the
+// #GP handler does with the faulting instruction.
+func (e *Emulator) ExecuteBytes(b []byte) (int, error) {
+	ins, n, err := Decode(b)
+	if err != nil {
+		return 0, err
+	}
+	if Classify(ins.Op) == Benign {
+		return 0, fmt.Errorf("%w: benign instruction %v should not trap", ErrNotEmulable, ins.Op)
+	}
+	return n, e.Execute(ins)
+}
+
+// PrivilegedOpcodes returns every opcode that traps at CPL3.
+func PrivilegedOpcodes() []Opcode {
+	var out []Opcode
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if Classify(op) == Privileged {
+			out = append(out, op)
+		}
+	}
+	return out
+}
+
+// SensitiveOpcodes returns the Popek-Goldberg violators.
+func SensitiveOpcodes() []Opcode {
+	var out []Opcode
+	for op := Opcode(1); op < numOpcodes; op++ {
+		if Classify(op) == Sensitive {
+			out = append(out, op)
+		}
+	}
+	return out
+}

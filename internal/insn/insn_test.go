@@ -1,0 +1,179 @@
+package insn
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(opRaw, reg uint8, imm uint64) bool {
+		op := Opcode(opRaw%uint8(numOpcodes-1)) + 1 // skip BAD
+		ins := Instruction{Op: op, Reg: reg, Imm: imm}
+		if !hasImm(op) {
+			ins.Imm = 0
+		}
+		got, n, err := Decode(Encode(ins))
+		return err == nil && n == EncodedLen(op) && got == ins
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil bytes: %v, want truncated", err)
+	}
+	if _, _, err := Decode([]byte{byte(WRMSR), 0, 1, 2}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short imm: %v, want truncated", err)
+	}
+	if _, _, err := Decode([]byte{0, 0}); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("BAD opcode: %v, want bad opcode", err)
+	}
+	if _, _, err := Decode([]byte{255, 0}); !errors.Is(err, ErrBadOpcode) {
+		t.Errorf("out-of-range opcode: %v, want bad opcode", err)
+	}
+}
+
+func TestPopekGoldbergClassification(t *testing.T) {
+	// The sensitive-but-unprivileged set is the reason x86 needs
+	// paravirtual replacement (§3.3.1 / [42]).
+	wantSensitive := map[Opcode]bool{
+		PUSHF: true, POPF: true, SGDT: true, SIDT: true, SMSW: true, RDTSC: true,
+	}
+	for _, op := range SensitiveOpcodes() {
+		if !wantSensitive[op] {
+			t.Errorf("%v unexpectedly sensitive", op)
+		}
+		delete(wantSensitive, op)
+	}
+	for op := range wantSensitive {
+		t.Errorf("%v missing from sensitive set", op)
+	}
+	for _, op := range PrivilegedOpcodes() {
+		if Classify(op) != Privileged {
+			t.Errorf("%v misclassified", op)
+		}
+	}
+	if Classify(CPUID) != Benign {
+		// CPUID exits under VMX but is not privileged at CPL3.
+		t.Error("CPUID should classify as benign (it never #GPs)")
+	}
+}
+
+func TestHypercallFastPaths(t *testing.T) {
+	// The hot privileged instructions ride hypercalls (§3.3.1).
+	cases := map[Opcode]arch.HypercallNR{
+		IRET:     arch.HCIret,
+		SYSRET:   arch.HCSysret,
+		WRMSR:    arch.HCWrMSR,
+		RDMSR:    arch.HCRdMSR,
+		MOVToCR3: arch.HCLoadCR3,
+		HLT:      arch.HCHalt,
+		INVLPG:   arch.HCFlushTLBPage,
+	}
+	for op, want := range cases {
+		got, ok := HypercallFor(op)
+		if !ok || got != want {
+			t.Errorf("HypercallFor(%v) = (%v, %v), want %v", op, got, ok, want)
+		}
+	}
+	if _, ok := HypercallFor(WBINVD); ok {
+		t.Error("WBINVD should fall back to emulation")
+	}
+}
+
+func TestEmulatorSemantics(t *testing.T) {
+	regs := &arch.Registers{Ring: arch.Ring3}
+	e := NewEmulator(regs)
+	var cr3Writes []arch.PFN
+	var flushes int
+	var ifChanges []bool
+	halted := false
+	e.Hooks = Hooks{
+		OnCR3Write: func(r arch.PFN) { cr3Writes = append(cr3Writes, r) },
+		OnTLBFlush: func(va arch.VA, all bool) { flushes++ },
+		OnHalt:     func() { halted = true },
+		OnSetIF:    func(en bool) { ifChanges = append(ifChanges, en) },
+	}
+
+	must := func(ins Instruction) {
+		t.Helper()
+		if err := e.Execute(ins); err != nil {
+			t.Fatalf("%v: %v", ins.Op, err)
+		}
+	}
+	must(Instruction{Op: MOVToCR3, Imm: 0x42})
+	if regs.CR3 != 0x42 || len(cr3Writes) != 1 || flushes != 1 {
+		t.Errorf("CR3 write: cr3=%#x writes=%d flushes=%d", regs.CR3, len(cr3Writes), flushes)
+	}
+	must(Instruction{Op: WRMSR, Imm: 0x1b, Reg: 7})
+	if e.MSRs[0x1b] != 7 {
+		t.Errorf("MSR write lost: %v", e.MSRs)
+	}
+	must(Instruction{Op: STI})
+	must(Instruction{Op: CLI})
+	if regs.FlagsIF {
+		t.Error("CLI did not clear IF")
+	}
+	if len(ifChanges) != 2 || !ifChanges[0] || ifChanges[1] {
+		t.Errorf("IF hook sequence = %v", ifChanges)
+	}
+	must(Instruction{Op: HLT})
+	if !halted {
+		t.Error("HLT hook not fired")
+	}
+	must(Instruction{Op: LIDT, Imm: uint64(arch.SwitcherBase + arch.PageSize)})
+	if regs.IDTR != arch.SwitcherBase+arch.PageSize {
+		t.Error("LIDT did not set IDTR")
+	}
+	must(Instruction{Op: INVLPG, Imm: 0x1000})
+	if flushes != 2 {
+		t.Errorf("flushes = %d, want 2", flushes)
+	}
+	if e.Emulated != 7 {
+		t.Errorf("emulated = %d, want 7", e.Emulated)
+	}
+}
+
+func TestExecuteBytesRejectsBenign(t *testing.T) {
+	e := NewEmulator(&arch.Registers{})
+	if _, err := e.ExecuteBytes(Encode(Instruction{Op: CPUID})); !errors.Is(err, ErrNotEmulable) {
+		t.Errorf("benign trap: %v, want not-emulable", err)
+	}
+	n, err := e.ExecuteBytes(Encode(Instruction{Op: WRMSR, Imm: 5, Reg: 1}))
+	if err != nil || n != 10 {
+		t.Errorf("WRMSR bytes: n=%d err=%v", n, err)
+	}
+}
+
+func TestPOPFSilentIFDrop(t *testing.T) {
+	// The pv replacement honours the IF change POPF would silently drop
+	// at CPL3 — the core Popek-Goldberg example.
+	regs := &arch.Registers{}
+	e := NewEmulator(regs)
+	var last bool
+	e.Hooks.OnSetIF = func(en bool) { last = en }
+	if err := e.Execute(Instruction{Op: POPF, Reg: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !regs.FlagsIF || !last {
+		t.Error("POPF replacement did not apply IF")
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	for op := Opcode(0); op < numOpcodes; op++ {
+		if op.String() == "" {
+			t.Errorf("opcode %d unnamed", op)
+		}
+	}
+	for _, c := range []Class{Benign, Privileged, Sensitive} {
+		if c.String() == "" {
+			t.Error("class unnamed")
+		}
+	}
+}

@@ -1,0 +1,294 @@
+// Package lmbench implements the LMbench-equivalent micro-benchmark suite
+// the paper uses for Figure 2 and Tables 3–4: process-management latencies
+// (null I/O, stat, open/close, select, signals, fork/exec/sh) and file & VM
+// system latencies (file create/delete, mmap, prot fault, page fault,
+// select on 100 fds).
+//
+// Each benchmark issues the same operation mix as its LMbench namesake
+// through the simulated guest kernel; the in-kernel body costs below are
+// calibrated so the kvm-ept (BM) column approximates the paper's Table 3/4
+// baseline, and every other configuration differs only through its
+// virtualization choreography — which is the quantity under study.
+package lmbench
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/guest"
+)
+
+// In-kernel body costs (ns), calibrated against Table 3/4's kvm-ept (BM)
+// column (see package comment).
+const (
+	bodyNullIO    = 60    // read 1 byte from /dev/zero
+	bodyStat      = 510   // path walk + inode copy
+	bodyOpenClose = 12325 // each of open and close (dentry, fd table)
+	bodySelectTCP = 1950  // poll 100 TCP fds
+	bodySigInst   = 80    // sigaction
+	bodySigHandle = 590   // frame setup + handler body
+	bodyFileMeta  = 25000 // directory/journal update per create/delete
+	body10KWrite  = 27000 // writing 10 KiB of data through the page cache
+)
+
+// Image sizes (pages) for the process benchmarks.
+const (
+	// procImagePages is the resident image of the lmbench process
+	// benchmarks' parent (lat_proc uses a small static binary).
+	procImagePages = 300
+	// execImagePages is the image touched by the exec'd binary (hello).
+	execImagePages = 100
+	// shellImagePages is /bin/sh's image for the sh proc benchmark.
+	shellImagePages = 260
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name  string
+	Ops   int
+	Total int64 // virtual ns
+}
+
+// PerOp returns the per-operation latency in virtual nanoseconds.
+func (r Result) PerOp() int64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	return r.Total / int64(r.Ops)
+}
+
+// PerOpMicros returns the per-operation latency in microseconds.
+func (r Result) PerOpMicros() float64 { return float64(r.PerOp()) / 1000 }
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s: %.3f µs/op (%d ops)", r.Name, r.PerOpMicros(), r.Ops)
+}
+
+// measure times fn over iters iterations on p's vCPU.
+func measure(p *guest.Process, name string, iters int, fn func()) Result {
+	start := p.CPU.Now()
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	return Result{Name: name, Ops: iters, Total: p.CPU.Now() - start}
+}
+
+// NullIO is lmbench's "null I/O": a 1-byte read.
+func NullIO(p *guest.Process, iters int) Result {
+	return measure(p, "null I/O", iters, func() { p.Syscall(bodyNullIO) })
+}
+
+// Stat stats a file.
+func Stat(p *guest.Process, iters int) Result {
+	return measure(p, "stat", iters, func() { p.Syscall(bodyStat) })
+}
+
+// OpenClose opens and closes a file.
+func OpenClose(p *guest.Process, iters int) Result {
+	return measure(p, "open/close", iters, func() {
+		p.Syscall(bodyOpenClose)
+		p.Syscall(bodyOpenClose)
+	})
+}
+
+// SelectTCP selects across 100 TCP file descriptors.
+func SelectTCP(p *guest.Process, iters int) Result {
+	return measure(p, "slct TCP", iters, func() { p.Syscall(bodySelectTCP) })
+}
+
+// SigInstall installs a signal handler (sigaction).
+func SigInstall(p *guest.Process, iters int) Result {
+	return measure(p, "sig inst", iters, func() { p.Syscall(bodySigInst) })
+}
+
+// SigHandle delivers a signal to a user handler: kernel upcall plus
+// sigreturn, i.e. two user/kernel transitions around the handler body.
+func SigHandle(p *guest.Process, iters int) Result {
+	return measure(p, "sig hndl", iters, func() {
+		p.Syscall(bodySigHandle) // delivery + frame setup
+		p.Syscall(0)             // sigreturn
+	})
+}
+
+// forkDirtyPages is the parent working set written between fork iterations
+// (stack, loop state, libc buffers): these pages are re-COWed so every fork
+// pays a realistic number of write-protection updates.
+const forkDirtyPages = 48
+
+// redirty writes the parent's working set, as the benchmark loop body does.
+func redirty(p *guest.Process) {
+	for i := 0; i < forkDirtyPages && i < procImagePages; i++ {
+		p.Touch(guest.ImageBase+arch.VA(i)*arch.PageSize, true)
+	}
+}
+
+// ForkProc is lmbench's "fork proc": fork a child that exits immediately.
+func ForkProc(p *guest.Process, iters int) Result {
+	return measure(p, "fork proc", iters, func() {
+		redirty(p)
+		child, err := p.Fork(nil)
+		if err != nil {
+			panic(fmt.Sprintf("lmbench fork: %v", err))
+		}
+		p.Syscall(0) // child's exit_group
+		if err := child.Exit(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// ExecProc is "exec proc": fork + exec a small binary + exit.
+func ExecProc(p *guest.Process, iters int) Result {
+	return measure(p, "exec proc", iters, func() {
+		redirty(p)
+		child, err := p.Fork(nil)
+		if err != nil {
+			panic(fmt.Sprintf("lmbench exec: %v", err))
+		}
+		if err := child.Exec(execImagePages); err != nil {
+			panic(err)
+		}
+		if err := child.Exit(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// ShProc is "sh proc": fork + exec /bin/sh which execs the target.
+func ShProc(p *guest.Process, iters int) Result {
+	return measure(p, "sh proc", iters, func() {
+		redirty(p)
+		child, err := p.Fork(nil)
+		if err != nil {
+			panic(fmt.Sprintf("lmbench sh: %v", err))
+		}
+		if err := child.Exec(shellImagePages); err != nil {
+			panic(err)
+		}
+		if err := child.Exec(execImagePages); err != nil {
+			panic(err)
+		}
+		if err := child.Exit(); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// FileCreateDelete0K creates and deletes an empty file (two results).
+func FileCreateDelete0K(p *guest.Process, iters int) (create, del Result) {
+	create = measure(p, "0K create", iters, func() {
+		p.Syscall(bodyOpenClose)
+		p.Syscall(bodyFileMeta)
+		p.BlockIO(1, 4096) // journal/metadata write
+	})
+	del = measure(p, "0K delete", iters, func() {
+		p.Syscall(bodyFileMeta)
+		p.BlockIO(1, 4096)
+	})
+	return create, del
+}
+
+// FileCreateDelete10K creates and deletes a 10 KiB file.
+func FileCreateDelete10K(p *guest.Process, iters int) (create, del Result) {
+	create = measure(p, "10K create", iters, func() {
+		p.Syscall(bodyOpenClose)
+		p.Syscall(bodyFileMeta + body10KWrite)
+		p.BlockIO(4, 4096) // 3 data blocks + metadata
+	})
+	del = measure(p, "10K delete", iters, func() {
+		p.Syscall(bodyFileMeta)
+		p.BlockIO(1, 4096)
+	})
+	return create, del
+}
+
+// MmapPages is the region size of the Mmap benchmark.
+const MmapPages = 32768 // 128 MiB
+
+// Mmap maps a region, touches every page, and unmaps it — lmbench's mmap
+// latency (dominated by per-page fault handling, the paper's key quantity).
+func Mmap(p *guest.Process) Result {
+	start := p.CPU.Now()
+	base := p.Mmap(MmapPages)
+	p.TouchRange(base, MmapPages, true)
+	if err := p.Munmap(base, MmapPages); err != nil {
+		panic(fmt.Sprintf("lmbench mmap: %v", err))
+	}
+	return Result{Name: "mmap", Ops: 1, Total: p.CPU.Now() - start}
+}
+
+// ProtFault measures write-protection fault handling (lat_protfault): the
+// pages are made read-only (here via a fork whose child exits immediately,
+// leaving the parent sole owner of write-protected pages); each write is a
+// protection fault the kernel resolves by re-enabling write access — no
+// frame allocation, no copy. Under hardware-assisted virtualization this is
+// entirely guest-internal; under shadow paging each fix traps.
+func ProtFault(p *guest.Process, pages int) Result {
+	child, err := p.Fork(nil)
+	if err != nil {
+		panic(fmt.Sprintf("lmbench prot fault: %v", err))
+	}
+	if err := child.Exit(); err != nil {
+		panic(err)
+	}
+	n := min(pages, procImagePages)
+	start := p.CPU.Now()
+	for i := 0; i < n; i++ {
+		p.Touch(guest.ImageBase+arch.VA(i)*arch.PageSize, true)
+	}
+	return Result{Name: "prot fault", Ops: n, Total: p.CPU.Now() - start}
+}
+
+// PageFault measures minor-fault handling (lat_pagefault: faults on pages
+// already present in the page cache): a forked child reads pages it
+// inherited — the guest page table already maps them, so hardware-assisted
+// configurations resolve the access with no fault at all, while shadow
+// paging must populate the child's shadow table entry by entry.
+func PageFault(p *guest.Process, pages int) Result {
+	child, err := p.Fork(nil)
+	if err != nil {
+		panic(fmt.Sprintf("lmbench page fault: %v", err))
+	}
+	n := min(pages, procImagePages)
+	start := child.CPU.Now()
+	for i := 0; i < n; i++ {
+		child.Touch(guest.ImageBase+arch.VA(i)*arch.PageSize, false)
+	}
+	r := Result{Name: "page fault", Ops: n, Total: child.CPU.Now() - start}
+	if err := child.Exit(); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Select100FD selects across 100 file descriptors.
+func Select100FD(p *guest.Process, iters int) Result {
+	return measure(p, "100fd select", iters, func() { p.Syscall(bodySelectTCP - 100) })
+}
+
+// ProcSuite runs the Table 3 process benchmarks and returns results in paper
+// column order.
+func ProcSuite(p *guest.Process, iters int) []Result {
+	return []Result{
+		NullIO(p, iters),
+		Stat(p, iters),
+		OpenClose(p, iters),
+		SelectTCP(p, iters),
+		SigInstall(p, iters),
+		SigHandle(p, iters),
+		ForkProc(p, maxInt(iters/10, 1)),
+		ExecProc(p, maxInt(iters/10, 1)),
+		ShProc(p, maxInt(iters/20, 1)),
+	}
+}
+
+// ProcImagePages is the image size used by process benchmarks; exported so
+// drivers start processes with the matching footprint.
+const ProcImagePages = procImagePages
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

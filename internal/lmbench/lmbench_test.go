@@ -1,0 +1,161 @@
+package lmbench
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/guest"
+)
+
+// on runs fn on one process of a fresh system of the given config.
+func on(t *testing.T, cfg backend.Config, fn func(p *guest.Process)) {
+	t.Helper()
+	s := backend.NewSystem(cfg, backend.DefaultOptions())
+	g, err := s.NewGuest("lm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(0, ProcImagePages, func(p *guest.Process) { fn(p) })
+	s.Eng.Wait()
+}
+
+func TestSyscallBenchLatencies(t *testing.T) {
+	// Against the calibrated kvm-ept (BM) column of Table 3 (µs).
+	targets := []struct {
+		name string
+		run  func(p *guest.Process) Result
+		want float64
+		tol  float64
+	}{
+		{"null I/O", func(p *guest.Process) Result { return NullIO(p, 16) }, 0.27, 0.02},
+		{"stat", func(p *guest.Process) Result { return Stat(p, 16) }, 0.72, 0.02},
+		{"open/close", func(p *guest.Process) Result { return OpenClose(p, 16) }, 25.07, 0.1},
+		{"slct TCP", func(p *guest.Process) Result { return SelectTCP(p, 16) }, 2.16, 0.02},
+		{"sig inst", func(p *guest.Process) Result { return SigInstall(p, 16) }, 0.29, 0.02},
+		{"sig hndl", func(p *guest.Process) Result { return SigHandle(p, 16) }, 1.01, 0.02},
+	}
+	for _, tc := range targets {
+		var r Result
+		on(t, backend.KVMEPTBM, func(p *guest.Process) { r = tc.run(p) })
+		got := r.PerOpMicros()
+		if got < tc.want-tc.tol || got > tc.want+tc.tol {
+			t.Errorf("%s = %.3f µs, want %.2f ± %.2f", tc.name, got, tc.want, tc.tol)
+		}
+	}
+}
+
+func TestForkOrdering(t *testing.T) {
+	// Table 3: fork is cheapest under hardware-assisted paging, and the
+	// shadow-paging variants pay for every COW write-protection store.
+	forkCost := func(cfg backend.Config) int64 {
+		var r Result
+		on(t, cfg, func(p *guest.Process) { r = ForkProc(p, 2) })
+		return r.PerOp()
+	}
+	ept := forkCost(backend.KVMEPTBM)
+	spt := forkCost(backend.KVMSPTBM)
+	pvm := forkCost(backend.PVMNST)
+	if !(ept < pvm && ept < spt) {
+		t.Errorf("fork: ept=%d should be cheapest (spt=%d, pvm=%d)", ept, spt, pvm)
+	}
+	if ratio := float64(pvm) / float64(ept); ratio < 2 || ratio > 12 {
+		t.Errorf("fork pvm/ept ratio = %.1f, want within [2, 12] (paper ≈ 5.3)", ratio)
+	}
+}
+
+func TestExecAndShCostMoreThanFork(t *testing.T) {
+	on(t, backend.KVMEPTBM, func(p *guest.Process) {
+		fork := ForkProc(p, 2).PerOp()
+		exec := ExecProc(p, 2).PerOp()
+		sh := ShProc(p, 1).PerOp()
+		if !(fork < exec && exec < sh) {
+			t.Errorf("ordering broken: fork=%d exec=%d sh=%d", fork, exec, sh)
+		}
+	})
+}
+
+func TestProtFaultSemantics(t *testing.T) {
+	// Protection faults resolve in-guest under EPT, via traps under PVM.
+	var eptR, pvmR Result
+	on(t, backend.KVMEPTBM, func(p *guest.Process) { eptR = ProtFault(p, 64) })
+	on(t, backend.PVMNST, func(p *guest.Process) { pvmR = ProtFault(p, 64) })
+	if eptR.Ops != 64 || pvmR.Ops != 64 {
+		t.Fatalf("ops = %d/%d, want 64", eptR.Ops, pvmR.Ops)
+	}
+	if eptR.PerOp() >= pvmR.PerOp() {
+		t.Errorf("prot fault: ept (%d) should be cheaper than pvm (%d)", eptR.PerOp(), pvmR.PerOp())
+	}
+	// In-guest resolution should be well under 1.5 µs.
+	if eptR.PerOpMicros() > 1.5 {
+		t.Errorf("ept prot fault = %.2f µs, want < 1.5 (guest-internal)", eptR.PerOpMicros())
+	}
+}
+
+func TestPageFaultMinorSemantics(t *testing.T) {
+	// Minor faults on inherited pages: near-free under EPT (the child's
+	// GPT already maps them), shadow-table population under PVM.
+	var eptR, pvmR Result
+	on(t, backend.KVMEPTBM, func(p *guest.Process) { eptR = PageFault(p, 64) })
+	on(t, backend.PVMNST, func(p *guest.Process) { pvmR = PageFault(p, 64) })
+	if eptR.PerOp() >= pvmR.PerOp() {
+		t.Errorf("page fault: ept (%d) should be cheaper than pvm (%d)", eptR.PerOp(), pvmR.PerOp())
+	}
+	if ratio := float64(pvmR.PerOp()) / float64(eptR.PerOp()); ratio < 2 {
+		t.Errorf("pvm/ept page-fault ratio = %.1f, want > 2 (paper: ~5)", ratio)
+	}
+}
+
+func TestFileBenchesChargeIO(t *testing.T) {
+	s := backend.NewSystem(backend.KVMEPTBM, backend.DefaultOptions())
+	g, err := s.NewGuest("lm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(0, 8, func(p *guest.Process) {
+		c0, d0 := FileCreateDelete0K(p, 4)
+		c10, _ := FileCreateDelete10K(p, 4)
+		if c0.PerOp() <= d0.PerOp() {
+			t.Errorf("create (%d) should cost more than delete (%d)", c0.PerOp(), d0.PerOp())
+		}
+		if c10.PerOp() <= c0.PerOp() {
+			t.Errorf("10K create (%d) should cost more than 0K create (%d)", c10.PerOp(), c0.PerOp())
+		}
+	})
+	s.Eng.Wait()
+	if s.Ctr.IORequests.Load() == 0 {
+		t.Error("file benchmarks issued no block I/O")
+	}
+}
+
+func TestMmapDominatedByFaultPath(t *testing.T) {
+	var bm, nst Result
+	on(t, backend.KVMEPTBM, func(p *guest.Process) { bm = Mmap(p) })
+	on(t, backend.KVMEPTNST, func(p *guest.Process) { nst = Mmap(p) })
+	if nst.Total <= bm.Total {
+		t.Errorf("mmap: nested (%d) should cost more than bare metal (%d)", nst.Total, bm.Total)
+	}
+}
+
+func TestProcSuiteComplete(t *testing.T) {
+	on(t, backend.PVMNST, func(p *guest.Process) {
+		rs := ProcSuite(p, 4)
+		if len(rs) != 9 {
+			t.Fatalf("suite size = %d, want 9", len(rs))
+		}
+		for _, r := range rs {
+			if r.Ops <= 0 || r.Total <= 0 {
+				t.Errorf("%s: empty result %+v", r.Name, r)
+			}
+			if r.String() == "" {
+				t.Error("empty String()")
+			}
+		}
+	})
+}
+
+func TestResultZeroOps(t *testing.T) {
+	r := Result{Name: "x"}
+	if r.PerOp() != 0 {
+		t.Error("PerOp of zero-ops result should be 0")
+	}
+}

@@ -1,0 +1,62 @@
+package lmbench
+
+import (
+	"repro/internal/arch"
+	"repro/internal/guest"
+)
+
+// Networking and context-switch benchmarks. The paper reports that network
+// latency and bandwidth behave like the file-system results (§4.2, "We also
+// performed tests on network latency and bandwidth and obtained similar
+// results as those in the file system tests"); these benches regenerate that
+// comparison. lat_ctx exercises the address-space-switch path, which is the
+// mechanism behind the kvm-spt and PVM syscall/CR3 costs.
+
+const (
+	bodyPipe     = 800 // pipe read/write kernel body
+	bodySchedule = 450 // scheduler pick + switch bookkeeping
+	bodyTCPStack = 2600
+)
+
+// CtxSwitch is lat_ctx: two processes bounce a token through a pipe; each
+// hop is a pipe write, a schedule, an address-space switch (CR3 load — free
+// under EPT, trapped under shadow paging, a hypercall under PVM), and a pipe
+// read.
+func CtxSwitch(p *guest.Process, iters int) Result {
+	return measure(p, "lat_ctx", iters, func() {
+		p.Syscall(bodyPipe)       // write token
+		p.Compute(bodySchedule)   // scheduler
+		p.PrivOp(arch.OpWriteCR3) // switch address space
+		p.Syscall(bodyPipe)       // read token on the other side
+	})
+}
+
+// TCPLatency is lat_tcp: a request/response round trip over loopback-like
+// vhost-net (one packet each way plus TCP stack work on both ends).
+func TCPLatency(p *guest.Process, iters int) Result {
+	return measure(p, "tcp lat", iters, func() {
+		p.Syscall(bodyTCPStack)
+		p.NetIO(1, 64)
+		p.Syscall(bodyTCPStack)
+		p.NetIO(1, 64)
+	})
+}
+
+// TCPBandwidthMBps is bw_tcp: stream `megabytes` MiB through vhost-net in
+// MTU-sized segments and report MB/s of virtual time.
+func TCPBandwidthMBps(p *guest.Process, megabytes int) float64 {
+	const mtu = 1500
+	segments := megabytes * (1 << 20) / mtu
+	start := p.CPU.Now()
+	// The stack batches ~16 segments per syscall (GSO-ish).
+	for sent := 0; sent < segments; sent += 16 {
+		n := min(16, segments-sent)
+		p.Syscall(bodyTCPStack)
+		p.NetIO(n, mtu)
+	}
+	elapsed := p.CPU.Now() - start
+	if elapsed == 0 {
+		return 0
+	}
+	return float64(megabytes) / (float64(elapsed) / 1e9)
+}

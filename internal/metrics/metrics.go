@@ -1,0 +1,264 @@
+// Package metrics collects the virtualization-event counters the paper's
+// analysis is built on: world switches (every directed transition between
+// adjacent layers of the virtualization stack), exits that reach the L0 host
+// hypervisor, guest/shadow page faults, hypercalls, emulations, and TLB
+// flushes.
+//
+// Counters use atomics: vCPU goroutines are ordered by the vclock engine but
+// their bookkeeping may overlap in real time.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// SwitchKind classifies a world switch by the transition it performs.
+type SwitchKind uint8
+
+const (
+	// SwitchHW is a hardware VMX transition between a guest and the
+	// hypervisor directly below it (single-level virtualization).
+	SwitchHW SwitchKind = iota
+	// SwitchNestedHop is a hardware transition that is part of an
+	// L2↔L1 round trip bounced through L0.
+	SwitchNestedHop
+	// SwitchPVM is a transition through the PVM switcher between an L2
+	// guest and the PVM (L1) hypervisor.
+	SwitchPVM
+	// SwitchDirect is PVM's direct user↔kernel switch inside the
+	// switcher, with no hypervisor entry.
+	SwitchDirect
+	numSwitchKinds
+)
+
+var switchNames = [numSwitchKinds]string{"hw", "nested", "pvm", "direct"}
+
+func (k SwitchKind) String() string {
+	if int(k) < len(switchNames) {
+		return switchNames[k]
+	}
+	return fmt.Sprintf("switch(%d)", uint8(k))
+}
+
+// Counters is a set of atomic virtualization-event counters.
+type Counters struct {
+	switches [numSwitchKinds]atomic.Int64
+
+	L0Exits        atomic.Int64 // arrivals at the L0 host hypervisor
+	L1Exits        atomic.Int64 // arrivals at the L1 guest hypervisor
+	GuestFaults    atomic.Int64 // page faults delivered to a guest kernel
+	ShadowFaults   atomic.Int64 // faults resolved by fixing a shadow table
+	EPTViolations  atomic.Int64 // violations resolved by fixing an EPT
+	PTEWriteTraps  atomic.Int64 // write-protected guest PTE stores emulated
+	Prefaults      atomic.Int64 // SPT entries installed by PVM's prefault
+	Hypercalls     atomic.Int64
+	Emulations     atomic.Int64 // privileged instructions emulated
+	Syscalls       atomic.Int64
+	DirectSwitches atomic.Int64
+	Interrupts     atomic.Int64
+	TLBFlushes     atomic.Int64
+	IORequests     atomic.Int64
+	COWBreaks      atomic.Int64
+	Forks          atomic.Int64
+	Execs          atomic.Int64
+}
+
+// Switch records one world switch of kind k.
+func (c *Counters) Switch(k SwitchKind) { c.switches[k].Add(1) }
+
+// SwitchCount returns the number of switches of kind k.
+func (c *Counters) SwitchCount(k SwitchKind) int64 { return c.switches[k].Load() }
+
+// WorldSwitches returns the total over all switch kinds.
+func (c *Counters) WorldSwitches() int64 {
+	var t int64
+	for i := range c.switches {
+		t += c.switches[i].Load()
+	}
+	return t
+}
+
+// Snapshot is an immutable copy of all counters.
+type Snapshot struct {
+	Switches       map[string]int64
+	WorldSwitches  int64
+	L0Exits        int64
+	L1Exits        int64
+	GuestFaults    int64
+	ShadowFaults   int64
+	EPTViolations  int64
+	PTEWriteTraps  int64
+	Prefaults      int64
+	Hypercalls     int64
+	Emulations     int64
+	Syscalls       int64
+	DirectSwitches int64
+	Interrupts     int64
+	TLBFlushes     int64
+	IORequests     int64
+	COWBreaks      int64
+	Forks          int64
+	Execs          int64
+}
+
+// Snapshot copies the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	s := Snapshot{Switches: make(map[string]int64, numSwitchKinds)}
+	for i := SwitchKind(0); i < numSwitchKinds; i++ {
+		v := c.switches[i].Load()
+		if v != 0 {
+			s.Switches[i.String()] = v
+		}
+		s.WorldSwitches += v
+	}
+	s.L0Exits = c.L0Exits.Load()
+	s.L1Exits = c.L1Exits.Load()
+	s.GuestFaults = c.GuestFaults.Load()
+	s.ShadowFaults = c.ShadowFaults.Load()
+	s.EPTViolations = c.EPTViolations.Load()
+	s.PTEWriteTraps = c.PTEWriteTraps.Load()
+	s.Prefaults = c.Prefaults.Load()
+	s.Hypercalls = c.Hypercalls.Load()
+	s.Emulations = c.Emulations.Load()
+	s.Syscalls = c.Syscalls.Load()
+	s.DirectSwitches = c.DirectSwitches.Load()
+	s.Interrupts = c.Interrupts.Load()
+	s.TLBFlushes = c.TLBFlushes.Load()
+	s.IORequests = c.IORequests.Load()
+	s.COWBreaks = c.COWBreaks.Load()
+	s.Forks = c.Forks.Load()
+	s.Execs = c.Execs.Load()
+	return s
+}
+
+// String renders the snapshot as a stable, human-readable list.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "world-switches=%d", s.WorldSwitches)
+	keys := make([]string, 0, len(s.Switches))
+	for k := range s.Switches {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " [%s=%d]", k, s.Switches[k])
+	}
+	type kv struct {
+		k string
+		v int64
+	}
+	rest := []kv{
+		{"l0-exits", s.L0Exits}, {"l1-exits", s.L1Exits},
+		{"guest-faults", s.GuestFaults}, {"shadow-faults", s.ShadowFaults},
+		{"ept-violations", s.EPTViolations}, {"pte-write-traps", s.PTEWriteTraps},
+		{"prefaults", s.Prefaults}, {"hypercalls", s.Hypercalls},
+		{"emulations", s.Emulations}, {"syscalls", s.Syscalls},
+		{"direct-switches", s.DirectSwitches}, {"interrupts", s.Interrupts},
+		{"tlb-flushes", s.TLBFlushes}, {"io-requests", s.IORequests},
+		{"cow-breaks", s.COWBreaks}, {"forks", s.Forks}, {"execs", s.Execs},
+	}
+	for _, e := range rest {
+		if e.v != 0 {
+			fmt.Fprintf(&b, " %s=%d", e.k, e.v)
+		}
+	}
+	return b.String()
+}
+
+// Series is a named sequence of (x, value) points used by the experiment
+// drivers to emit figure data.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one figure data point.
+type Point struct {
+	X     float64
+	Value float64
+}
+
+// Table is a simple labelled grid used by the experiment drivers to emit
+// paper-style tables.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    []TableRow
+}
+
+// TableRow is one labelled table row.
+type TableRow struct {
+	Label string
+	Cells []string
+}
+
+// Format renders the table with aligned columns.
+func (t *Table) Format() string {
+	widths := make([]int, len(t.Columns)+1)
+	for _, r := range t.Rows {
+		if len(r.Label) > widths[0] {
+			widths[0] = len(r.Label)
+		}
+	}
+	for i, c := range t.Columns {
+		widths[i+1] = len(c)
+		for _, r := range t.Rows {
+			if i < len(r.Cells) && len(r.Cells[i]) > widths[i+1] {
+				widths[i+1] = len(r.Cells[i])
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], "")
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "  %*s", widths[i+1], c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r.Label)
+		for i, c := range r.Cells {
+			fmt.Fprintf(&b, "  %*s", widths[i+1], c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Registry maps experiment ids to descriptions; used by cmd/pvmbench.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{entries: map[string]string{}} }
+
+// Register adds an experiment id.
+func (r *Registry) Register(id, desc string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[id] = desc
+}
+
+// List returns ids in sorted order with descriptions.
+func (r *Registry) List() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ids := make([]string, 0, len(r.entries))
+	for id := range r.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = fmt.Sprintf("%-12s %s", id, r.entries[id])
+	}
+	return out
+}

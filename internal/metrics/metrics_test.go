@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSwitchCountsByKind(t *testing.T) {
+	var c Counters
+	c.Switch(SwitchHW)
+	c.Switch(SwitchHW)
+	c.Switch(SwitchPVM)
+	c.Switch(SwitchNestedHop)
+	c.Switch(SwitchDirect)
+	if c.WorldSwitches() != 5 {
+		t.Errorf("total = %d, want 5", c.WorldSwitches())
+	}
+	if c.SwitchCount(SwitchHW) != 2 {
+		t.Errorf("hw = %d, want 2", c.SwitchCount(SwitchHW))
+	}
+	s := c.Snapshot()
+	if s.Switches["hw"] != 2 || s.Switches["pvm"] != 1 {
+		t.Errorf("snapshot switches = %v", s.Switches)
+	}
+	if s.WorldSwitches != 5 {
+		t.Errorf("snapshot total = %d", s.WorldSwitches)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	var c Counters
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				c.Switch(SwitchPVM)
+				c.L0Exits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.WorldSwitches() != 8000 || c.L0Exits.Load() != 8000 {
+		t.Errorf("counts = %d/%d, want 8000/8000", c.WorldSwitches(), c.L0Exits.Load())
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.Switch(SwitchPVM)
+	c.GuestFaults.Add(3)
+	c.Prefaults.Add(2)
+	s := c.Snapshot().String()
+	for _, want := range []string{"world-switches=1", "guest-faults=3", "prefaults=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("snapshot string %q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "hypercalls") {
+		t.Error("zero counters should be omitted")
+	}
+}
+
+func TestTableFormat(t *testing.T) {
+	tb := Table{
+		Title:   "Table 2",
+		Columns: []string{"KPTI on", "KPTI off"},
+		Rows: []TableRow{
+			{Label: "kvm-ept (BM)", Cells: []string{"0.22", "0.06"}},
+			{Label: "pvm (NST)", Cells: []string{"0.30", "0.30"}},
+		},
+	}
+	out := tb.Format()
+	if !strings.Contains(out, "Table 2") || !strings.Contains(out, "kvm-ept (BM)") {
+		t.Errorf("format output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Errorf("line count = %d, want 4", len(lines))
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("fig4", "memory scaling")
+	r.Register("table1", "vm exits")
+	list := r.List()
+	if len(list) != 2 || !strings.Contains(list[0], "fig4") {
+		t.Errorf("list = %v", list)
+	}
+}

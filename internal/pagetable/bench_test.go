@@ -1,0 +1,57 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+func BenchmarkMapSequential(b *testing.B) {
+	pt, err := New(mem.NewAllocator("b", 0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pt.Map(arch.VA(i)<<arch.PageShift, arch.PFN(i), Writable|User); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWalkHot(b *testing.B) {
+	pt, err := New(mem.NewAllocator("b", 0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const pages = 4096
+	for i := 0; i < pages; i++ {
+		if _, err := pt.Map(arch.VA(i)<<arch.PageShift, arch.PFN(i), Writable|User); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, fault := pt.Walk(arch.VA(i%pages)<<arch.PageShift, false, true); fault != nil {
+			b.Fatal(fault)
+		}
+	}
+}
+
+func BenchmarkMapLarge(b *testing.B) {
+	pt, err := New(mem.NewAllocator("b", 0, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := arch.VA(i) * LargePageSpan
+		if !arch.VA(va).Canonical() {
+			b.Skip("address space exhausted")
+		}
+		if _, err := pt.MapLarge(va, arch.PFN(i)<<9, Writable|User); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

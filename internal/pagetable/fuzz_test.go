@@ -1,0 +1,56 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// FuzzMapUnmapWalk: arbitrary interleavings of map/unmap/protect/walk over
+// fuzzer-chosen addresses must never panic, and CountMapped must equal the
+// model set at every step.
+func FuzzMapUnmapWalk(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		pt, err := New(mem.NewAllocator("f", 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := map[arch.VA]bool{}
+		for i := 0; i+1 < len(ops); i += 2 {
+			va := (arch.VA(ops[i+1]) << arch.PageShift) |
+				(arch.VA(ops[i+1]&0x7) << 30) // spread across the tree
+			va = va.PageDown()
+			switch ops[i] % 4 {
+			case 0:
+				if _, err := pt.Map(va, arch.PFN(i+1), Writable|User); err != nil {
+					t.Fatal(err)
+				}
+				model[va] = true
+			case 1:
+				got := pt.Unmap(va)
+				if got != model[va] {
+					t.Fatalf("unmap(%#x) = %v, model %v", va, got, model[va])
+				}
+				delete(model, va)
+			case 2:
+				got := pt.Protect(va, User)
+				if got != model[va] {
+					t.Fatalf("protect(%#x) = %v, model %v", va, got, model[va])
+				}
+			case 3:
+				_, _, fault := pt.Walk(va, false, true)
+				if (fault == nil) != model[va] {
+					t.Fatalf("walk(%#x) fault=%v, model %v", va, fault, model[va])
+				}
+			}
+			if pt.CountMapped() != len(model) {
+				t.Fatalf("count = %d, model %d", pt.CountMapped(), len(model))
+			}
+		}
+		if err := pt.Destroy(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,39 @@
+package tlb
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func BenchmarkLookupHit(b *testing.B) {
+	t := New(1536)
+	for i := 0; i < 1024; i++ {
+		t.Insert(1, 1, arch.VA(i)<<arch.PageShift, Entry{PFN: arch.PFN(i), Write: true})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Lookup(1, 1, arch.VA(i%1024)<<arch.PageShift, false)
+	}
+}
+
+func BenchmarkInsertEvict(b *testing.B) {
+	t := New(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Insert(1, 1, arch.VA(i)<<arch.PageShift, Entry{PFN: arch.PFN(i)})
+	}
+}
+
+func BenchmarkFlushPCID(b *testing.B) {
+	t := New(1536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		for k := 0; k < 64; k++ {
+			t.Insert(1, arch.PCID(k%4), arch.VA(k)<<arch.PageShift, Entry{PFN: arch.PFN(k)})
+		}
+		b.StartTimer()
+		t.FlushPCID(1, 2)
+	}
+}

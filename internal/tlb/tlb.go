@@ -1,0 +1,170 @@
+// Package tlb implements the simulator's tagged translation lookaside buffer.
+//
+// Entries are tagged (VPID, PCID, VPN) exactly as on VT-x hardware with
+// PCID enabled. The tag structure is what PVM's PCID-mapping optimization
+// exploits: by assigning distinct host-side PCIDs to each L2 address space,
+// world switches need no TLB flush at all, whereas a traditional shadow-
+// paging hypervisor must flush the whole guest VPID on every guest-requested
+// flush (the cold-start penalty described in §3.3.2 of the paper).
+package tlb
+
+import (
+	"container/list"
+
+	"repro/internal/arch"
+)
+
+// Key tags one TLB entry.
+type Key struct {
+	VPID arch.VPID
+	PCID arch.PCID
+	VPN  uint64 // virtual page number
+}
+
+// Entry is a cached translation.
+type Entry struct {
+	PFN    arch.PFN
+	Global bool // survives PCID-targeted flushes (switcher pages)
+	Write  bool // writable translation cached
+}
+
+// Stats counts TLB activity.
+type Stats struct {
+	Hits        int64
+	Misses      int64
+	Inserts     int64
+	Evictions   int64
+	FlushPage   int64
+	FlushPCID   int64
+	FlushVPID   int64
+	FlushAll    int64
+	FlushedEnts int64 // entries removed by flushes
+}
+
+// TLB is a capacity-bounded, LRU-evicting, tagged TLB.
+type TLB struct {
+	capacity int
+	entries  map[Key]*list.Element
+	lru      *list.List // front = most recent; values are *node
+	stats    Stats
+}
+
+type node struct {
+	key Key
+	ent Entry
+}
+
+// New creates a TLB holding up to capacity entries (capacity <= 0 panics).
+func New(capacity int) *TLB {
+	if capacity <= 0 {
+		panic("tlb: capacity must be positive")
+	}
+	return &TLB{
+		capacity: capacity,
+		entries:  make(map[Key]*list.Element, capacity),
+		lru:      list.New(),
+	}
+}
+
+// Lookup searches for a cached translation. A write access misses on a
+// read-only cached entry (forcing a walk that sets the dirty bit), matching
+// hardware behaviour.
+func (t *TLB) Lookup(vpid arch.VPID, pcid arch.PCID, va arch.VA, write bool) (Entry, bool) {
+	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
+	el, ok := t.entries[k]
+	if !ok {
+		t.stats.Misses++
+		return Entry{}, false
+	}
+	n := el.Value.(*node)
+	if write && !n.ent.Write {
+		t.stats.Misses++
+		return Entry{}, false
+	}
+	t.lru.MoveToFront(el)
+	t.stats.Hits++
+	return n.ent, true
+}
+
+// Insert caches a translation, evicting the least recently used entry when
+// full.
+func (t *TLB) Insert(vpid arch.VPID, pcid arch.PCID, va arch.VA, e Entry) {
+	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
+	if el, ok := t.entries[k]; ok {
+		el.Value.(*node).ent = e
+		t.lru.MoveToFront(el)
+		return
+	}
+	if t.lru.Len() >= t.capacity {
+		back := t.lru.Back()
+		t.lru.Remove(back)
+		delete(t.entries, back.Value.(*node).key)
+		t.stats.Evictions++
+	}
+	t.entries[k] = t.lru.PushFront(&node{key: k, ent: e})
+	t.stats.Inserts++
+}
+
+// FlushPage removes one page's translation (INVLPG / INVPCID single-address).
+func (t *TLB) FlushPage(vpid arch.VPID, pcid arch.PCID, va arch.VA) {
+	t.stats.FlushPage++
+	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
+	if el, ok := t.entries[k]; ok {
+		t.lru.Remove(el)
+		delete(t.entries, k)
+		t.stats.FlushedEnts++
+	}
+}
+
+// FlushPCID removes all non-global entries of one (VPID, PCID) address
+// space and returns how many entries were dropped.
+func (t *TLB) FlushPCID(vpid arch.VPID, pcid arch.PCID) int {
+	t.stats.FlushPCID++
+	return t.flushWhere(func(k Key, e Entry) bool {
+		return k.VPID == vpid && k.PCID == pcid && !e.Global
+	})
+}
+
+// FlushVPID removes every entry of the VPID regardless of PCID — the
+// whole-guest cold-start flush traditional shadow paging suffers.
+func (t *TLB) FlushVPID(vpid arch.VPID) int {
+	t.stats.FlushVPID++
+	return t.flushWhere(func(k Key, e Entry) bool { return k.VPID == vpid })
+}
+
+// FlushAll empties the TLB (global entries included).
+func (t *TLB) FlushAll() int {
+	t.stats.FlushAll++
+	return t.flushWhere(func(Key, Entry) bool { return true })
+}
+
+func (t *TLB) flushWhere(pred func(Key, Entry) bool) int {
+	n := 0
+	for el := t.lru.Front(); el != nil; {
+		next := el.Next()
+		nd := el.Value.(*node)
+		if pred(nd.key, nd.ent) {
+			t.lru.Remove(el)
+			delete(t.entries, nd.key)
+			n++
+		}
+		el = next
+	}
+	t.stats.FlushedEnts += int64(n)
+	return n
+}
+
+// Len returns the number of live entries.
+func (t *TLB) Len() int { return t.lru.Len() }
+
+// Stats returns a snapshot of the counters.
+func (t *TLB) Stats() Stats { return t.stats }
+
+// HitRate returns hits/(hits+misses), or 0 with no lookups.
+func (t *TLB) HitRate() float64 {
+	tot := t.stats.Hits + t.stats.Misses
+	if tot == 0 {
+		return 0
+	}
+	return float64(t.stats.Hits) / float64(tot)
+}

@@ -1,0 +1,176 @@
+package tlb
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+)
+
+func TestLookupInsert(t *testing.T) {
+	tb := New(8)
+	va := arch.VA(0x1000)
+	if _, ok := tb.Lookup(1, 2, va, false); ok {
+		t.Fatal("hit on empty TLB")
+	}
+	tb.Insert(1, 2, va, Entry{PFN: 99, Write: true})
+	e, ok := tb.Lookup(1, 2, va, false)
+	if !ok || e.PFN != 99 {
+		t.Fatalf("lookup = (%+v, %v), want PFN 99", e, ok)
+	}
+	// Different PCID: distinct address space, must miss.
+	if _, ok := tb.Lookup(1, 3, va, false); ok {
+		t.Fatal("hit across PCIDs")
+	}
+	// Different VPID: distinct guest, must miss.
+	if _, ok := tb.Lookup(2, 2, va, false); ok {
+		t.Fatal("hit across VPIDs")
+	}
+}
+
+func TestWriteMissOnReadOnlyEntry(t *testing.T) {
+	tb := New(8)
+	va := arch.VA(0x2000)
+	tb.Insert(1, 1, va, Entry{PFN: 5, Write: false})
+	if _, ok := tb.Lookup(1, 1, va, true); ok {
+		t.Fatal("write hit on read-only cached entry")
+	}
+	if _, ok := tb.Lookup(1, 1, va, false); !ok {
+		t.Fatal("read missed on read-only cached entry")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	tb := New(2)
+	tb.Insert(1, 1, 0x1000, Entry{PFN: 1})
+	tb.Insert(1, 1, 0x2000, Entry{PFN: 2})
+	// Touch 0x1000 so 0x2000 becomes LRU.
+	tb.Lookup(1, 1, 0x1000, false)
+	tb.Insert(1, 1, 0x3000, Entry{PFN: 3})
+	if _, ok := tb.Lookup(1, 1, 0x2000, false); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if _, ok := tb.Lookup(1, 1, 0x1000, false); !ok {
+		t.Fatal("recently used entry evicted")
+	}
+	if st := tb.Stats(); st.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", st.Evictions)
+	}
+}
+
+func TestFlushPCIDSparesGlobalAndOthers(t *testing.T) {
+	tb := New(16)
+	tb.Insert(1, 10, 0x1000, Entry{PFN: 1})               // victim
+	tb.Insert(1, 10, 0x2000, Entry{PFN: 2, Global: true}) // global: survives
+	tb.Insert(1, 11, 0x3000, Entry{PFN: 3})               // other PCID: survives
+	tb.Insert(2, 10, 0x4000, Entry{PFN: 4})               // other VPID: survives
+
+	if n := tb.FlushPCID(1, 10); n != 1 {
+		t.Fatalf("FlushPCID removed %d entries, want 1", n)
+	}
+	if _, ok := tb.Lookup(1, 10, 0x2000, false); !ok {
+		t.Fatal("global entry flushed by PCID flush")
+	}
+	if _, ok := tb.Lookup(1, 11, 0x3000, false); !ok {
+		t.Fatal("other PCID flushed")
+	}
+	if _, ok := tb.Lookup(2, 10, 0x4000, false); !ok {
+		t.Fatal("other VPID flushed")
+	}
+}
+
+func TestFlushVPIDDropsEverythingInGuest(t *testing.T) {
+	// The cold-start penalty of traditional shadow paging: a guest flush
+	// request drops every PCID of the VPID, globals included.
+	tb := New(16)
+	tb.Insert(1, 10, 0x1000, Entry{PFN: 1})
+	tb.Insert(1, 11, 0x2000, Entry{PFN: 2, Global: true})
+	tb.Insert(2, 10, 0x3000, Entry{PFN: 3})
+	if n := tb.FlushVPID(1); n != 2 {
+		t.Fatalf("FlushVPID removed %d, want 2", n)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tb.Len())
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	tb := New(16)
+	tb.Insert(1, 1, 0x1000, Entry{PFN: 1})
+	tb.Insert(1, 1, 0x2000, Entry{PFN: 2})
+	tb.FlushPage(1, 1, 0x1000)
+	if _, ok := tb.Lookup(1, 1, 0x1000, false); ok {
+		t.Fatal("flushed page still present")
+	}
+	if _, ok := tb.Lookup(1, 1, 0x2000, false); !ok {
+		t.Fatal("unrelated page flushed")
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	tb := New(16)
+	for i := 0; i < 5; i++ {
+		tb.Insert(1, 1, arch.VA(i)<<arch.PageShift, Entry{PFN: arch.PFN(i), Global: i%2 == 0})
+	}
+	if n := tb.FlushAll(); n != 5 {
+		t.Fatalf("FlushAll removed %d, want 5", n)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("TLB not empty after FlushAll")
+	}
+}
+
+func TestInsertUpdatesInPlace(t *testing.T) {
+	tb := New(2)
+	tb.Insert(1, 1, 0x1000, Entry{PFN: 1})
+	tb.Insert(1, 1, 0x1000, Entry{PFN: 2, Write: true})
+	if tb.Len() != 1 {
+		t.Fatalf("len = %d, want 1 (update in place)", tb.Len())
+	}
+	e, ok := tb.Lookup(1, 1, 0x1000, true)
+	if !ok || e.PFN != 2 {
+		t.Fatalf("lookup = (%+v, %v), want updated PFN 2", e, ok)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	tb := New(4)
+	tb.Insert(1, 1, 0x1000, Entry{PFN: 1})
+	tb.Lookup(1, 1, 0x1000, false) // hit
+	tb.Lookup(1, 1, 0x2000, false) // miss
+	if hr := tb.HitRate(); hr != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", hr)
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: the TLB never exceeds capacity, and a just-inserted entry is
+// always found (it cannot be the LRU victim of its own insert).
+func TestPropertyCapacityAndRecency(t *testing.T) {
+	f := func(pages []uint16, capRaw uint8) bool {
+		capacity := int(capRaw%32) + 1
+		tb := New(capacity)
+		for _, p := range pages {
+			va := arch.VA(p) << arch.PageShift
+			tb.Insert(1, 1, va, Entry{PFN: arch.PFN(p), Write: true})
+			if tb.Len() > capacity {
+				return false
+			}
+			if e, ok := tb.Lookup(1, 1, va, true); !ok || e.PFN != arch.PFN(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

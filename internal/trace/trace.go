@@ -1,0 +1,162 @@
+// Package trace provides a bounded, concurrency-safe event trace for the
+// simulator: world switches, faults, hypercalls, syscalls, interrupts, and
+// I/O kicks are recorded with their virtual timestamps so a run's
+// choreography can be inspected event by event (pvmctl trace).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind classifies a trace event.
+type Kind uint8
+
+const (
+	KindSwitch Kind = iota
+	KindFault
+	KindShadowFix
+	KindPTEWrite
+	KindHypercall
+	KindSyscall
+	KindPrivOp
+	KindInterrupt
+	KindIO
+	KindFlush
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"switch", "fault", "shadow-fix", "pte-write", "hypercall",
+	"syscall", "privop", "interrupt", "io", "flush",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one recorded simulator event.
+type Event struct {
+	T      int64 // virtual ns at which the event was recorded
+	CPU    int   // vCPU id
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12d ns  cpu%-3d %-10s %s", e.T, e.CPU, e.Kind, e.Detail)
+}
+
+// Buffer is a bounded ring of events. When full, the oldest events are
+// overwritten and counted as dropped.
+type Buffer struct {
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	wrapped bool
+	dropped int64
+}
+
+// NewBuffer creates a trace buffer holding up to capacity events
+// (capacity <= 0 panics).
+func NewBuffer(capacity int) *Buffer {
+	if capacity <= 0 {
+		panic("trace: capacity must be positive")
+	}
+	return &Buffer{ring: make([]Event, 0, capacity)}
+}
+
+// Add records one event.
+func (b *Buffer) Add(ev Event) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.ring) < cap(b.ring) {
+		b.ring = append(b.ring, ev)
+		return
+	}
+	b.ring[b.next] = ev
+	b.next = (b.next + 1) % cap(b.ring)
+	b.wrapped = true
+	b.dropped++
+}
+
+// Record is a convenience Add.
+func (b *Buffer) Record(t int64, cpu int, kind Kind, format string, args ...any) {
+	b.Add(Event{T: t, CPU: cpu, Kind: kind, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Dropped returns how many events were overwritten.
+func (b *Buffer) Dropped() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.dropped
+}
+
+// Len returns the number of retained events.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.ring)
+}
+
+// Events returns the retained events sorted by (virtual time, cpu).
+func (b *Buffer) Events() []Event {
+	b.mu.Lock()
+	out := make([]Event, len(b.ring))
+	if b.wrapped {
+		n := copy(out, b.ring[b.next:])
+		copy(out[n:], b.ring[:b.next])
+	} else {
+		copy(out, b.ring)
+	}
+	b.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].CPU < out[j].CPU
+	})
+	return out
+}
+
+// Filter returns the retained events of one kind, in time order.
+func (b *Buffer) Filter(kind Kind) []Event {
+	var out []Event
+	for _, ev := range b.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// CountByKind tallies retained events per kind.
+func (b *Buffer) CountByKind() map[Kind]int {
+	out := map[Kind]int{}
+	for _, ev := range b.Events() {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// Format renders up to limit events (0 = all) as a listing.
+func (b *Buffer) Format(limit int) string {
+	evs := b.Events()
+	if limit > 0 && len(evs) > limit {
+		evs = evs[:limit]
+	}
+	var sb strings.Builder
+	for _, ev := range evs {
+		sb.WriteString(ev.String())
+		sb.WriteByte('\n')
+	}
+	if d := b.Dropped(); d > 0 {
+		fmt.Fprintf(&sb, "(%d events dropped)\n", d)
+	}
+	return sb.String()
+}

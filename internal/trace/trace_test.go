@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndOrder(t *testing.T) {
+	b := NewBuffer(16)
+	b.Record(30, 1, KindFault, "late")
+	b.Record(10, 0, KindSwitch, "early")
+	b.Record(30, 0, KindSyscall, "tie-lower-cpu")
+	evs := b.Events()
+	if len(evs) != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].Detail != "early" || evs[1].Detail != "tie-lower-cpu" || evs[2].Detail != "late" {
+		t.Errorf("order: %v", evs)
+	}
+}
+
+func TestRingOverwrite(t *testing.T) {
+	b := NewBuffer(4)
+	for i := 0; i < 10; i++ {
+		b.Record(int64(i), 0, KindSwitch, "e%d", i)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d, want 4", b.Len())
+	}
+	if b.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", b.Dropped())
+	}
+	evs := b.Events()
+	if evs[0].Detail != "e6" || evs[3].Detail != "e9" {
+		t.Errorf("retained window wrong: %v", evs)
+	}
+}
+
+func TestFilterAndCount(t *testing.T) {
+	b := NewBuffer(16)
+	b.Record(1, 0, KindFault, "f1")
+	b.Record(2, 0, KindSwitch, "s1")
+	b.Record(3, 0, KindFault, "f2")
+	if got := len(b.Filter(KindFault)); got != 2 {
+		t.Errorf("faults = %d, want 2", got)
+	}
+	counts := b.CountByKind()
+	if counts[KindFault] != 2 || counts[KindSwitch] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	b := NewBuffer(2)
+	b.Record(5, 1, KindHypercall, "iret")
+	b.Record(6, 1, KindIO, "blk")
+	b.Record(7, 1, KindIO, "blk2") // overwrites
+	out := b.Format(0)
+	if !strings.Contains(out, "hypercall") && !strings.Contains(out, "io") {
+		t.Errorf("format output:\n%s", out)
+	}
+	if !strings.Contains(out, "dropped") {
+		t.Error("dropped note missing")
+	}
+	if lim := b.Format(1); strings.Count(lim, "\n") > 2 {
+		t.Errorf("limit not applied:\n%s", lim)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	b := NewBuffer(1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for k := 0; k < 100; k++ {
+				b.Record(int64(k), id, KindSwitch, "x")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if b.Len() != 800 {
+		t.Errorf("len = %d, want 800", b.Len())
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d unnamed", k)
+		}
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBuffer(0) did not panic")
+		}
+	}()
+	NewBuffer(0)
+}

@@ -1,0 +1,72 @@
+package vclock
+
+import "testing"
+
+// Simulator-engine micro-benchmarks: the per-operation overhead of the
+// deterministic scheduler bounds how large a workload the experiments can
+// drive.
+
+func BenchmarkAdvanceSingleCPU(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	b.ResetTimer()
+	e.Go(0, func(c *CPU) {
+		for i := 0; i < n; i++ {
+			c.Advance(10)
+		}
+	})
+	e.Wait()
+}
+
+func BenchmarkAdvanceLazySingleCPU(b *testing.B) {
+	e := NewEngine()
+	n := b.N
+	b.ResetTimer()
+	e.Go(0, func(c *CPU) {
+		for i := 0; i < n; i++ {
+			c.AdvanceLazy(10)
+		}
+		c.Advance(0)
+	})
+	e.Wait()
+}
+
+func benchContended(b *testing.B, cpus int) {
+	e := NewEngine()
+	l := e.NewLock("bench")
+	per := b.N/cpus + 1
+	b.ResetTimer()
+	for i := 0; i < cpus; i++ {
+		e.Go(0, func(c *CPU) {
+			for k := 0; k < per; k++ {
+				c.Advance(50)
+				l.Acquire(c)
+				c.Advance(10)
+				l.Release(c)
+			}
+		})
+	}
+	e.Wait()
+}
+
+func BenchmarkLock2CPUs(b *testing.B)  { benchContended(b, 2) }
+func BenchmarkLock8CPUs(b *testing.B)  { benchContended(b, 8) }
+func BenchmarkLock32CPUs(b *testing.B) { benchContended(b, 32) }
+
+func BenchmarkUncontended32CPUs(b *testing.B) {
+	e := NewEngine()
+	per := b.N/32 + 1
+	b.ResetTimer()
+	for i := 0; i < 32; i++ {
+		l := e.NewLock("private")
+		e.Go(0, func(c *CPU) {
+			for k := 0; k < per; k++ {
+				c.Advance(50)
+				l.Acquire(c)
+				c.Advance(10)
+				l.Release(c)
+			}
+		})
+	}
+	e.Wait()
+}

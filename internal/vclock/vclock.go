@@ -1,0 +1,449 @@
+// Package vclock implements a deterministic discrete-virtual-time execution
+// engine for the PVM simulator.
+//
+// Workload code runs on ordinary goroutines, one per simulated vCPU, and
+// advances a per-vCPU virtual clock (int64 nanoseconds) as it charges costs.
+// The engine enforces a conservative ordering discipline: a vCPU may only
+// perform an operation when its clock is the global minimum among runnable
+// vCPUs (ties broken by vCPU id). Together with explicit virtual locks this
+// makes every simulation deterministic regardless of how the Go scheduler
+// interleaves the goroutines.
+//
+// Virtual locks model serialization (e.g. KVM's global mmu_lock versus PVM's
+// fine-grained shadow-page-table locks). Acquiring a contended lock advances
+// the acquirer's clock to the release time of the previous holder and records
+// contention statistics; this is exactly the mechanism behind the paper's
+// Figure 10 scalability results.
+//
+// Wakeups are targeted: every state change signals only the vCPU that now
+// holds the minimum clock, so engine operations cost O(#vCPUs) comparisons
+// but wake at most one goroutine.
+package vclock
+
+import (
+	"fmt"
+	"sync"
+)
+
+// state of a simulated vCPU with respect to the scheduler.
+type state int
+
+const (
+	running  state = iota // participates in the min-clock computation
+	lockWait              // blocked on a virtual lock; excluded from min
+	done                  // finished; excluded from min
+)
+
+// Engine coordinates a set of simulated vCPUs.
+type Engine struct {
+	mu sync.Mutex
+
+	cpus []*CPU
+
+	// cores bounds simulated hardware parallelism. Compute advances are
+	// dilated when more vCPUs are runnable than cores. Zero means
+	// unlimited (no dilation).
+	cores int
+
+	wg sync.WaitGroup
+}
+
+// NewEngine returns an engine with unlimited simulated cores.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// SetCores bounds simulated hardware parallelism; see Engine.cores.
+// Must be called before any vCPU starts executing.
+func (e *Engine) SetCores(n int) { e.cores = n }
+
+// CPU is one simulated virtual CPU (or guest process context). All methods
+// must be called from the single goroutine driving this CPU.
+type CPU struct {
+	id  int
+	e   *Engine
+	now int64
+	st  state
+
+	waiting bool
+	wake    chan struct{}
+
+	// lazy accumulates deferred charges (AdvanceLazy); owned by the
+	// driving goroutine, folded into now under e.mu at the next engine
+	// operation.
+	lazy int64
+
+	// Advanced accumulates total virtual time charged to this CPU.
+	Advanced int64
+}
+
+// NewCPU registers a new vCPU starting at virtual time start.
+//
+// When called from a running vCPU's goroutine (e.g. to model fork), pass the
+// parent's current time; the engine guarantees the parent holds the global
+// minimum clock at that moment, so the child joins consistently.
+func (e *Engine) NewCPU(start int64) *CPU {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := &CPU{id: len(e.cpus), e: e, now: start, st: running, wake: make(chan struct{}, 1)}
+	e.cpus = append(e.cpus, c)
+	e.signalMinLocked()
+	return c
+}
+
+// Go launches fn on its own goroutine driving a fresh vCPU that starts at
+// virtual time start. The vCPU is marked done when fn returns.
+func (e *Engine) Go(start int64, fn func(c *CPU)) *CPU {
+	c := e.NewCPU(start)
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		defer c.Done()
+		fn(c)
+	}()
+	return c
+}
+
+// Wait blocks until every vCPU launched with Go has finished.
+func (e *Engine) Wait() { e.wg.Wait() }
+
+// Makespan returns the maximum clock across all vCPUs (the virtual duration
+// of the whole run). Call it after Wait; a vCPU's pending lazy charges are
+// folded in.
+func (e *Engine) Makespan() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var m int64
+	for _, c := range e.cpus {
+		t := c.now + c.lazy
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// runnable reports how many vCPUs currently count toward core occupancy.
+func (e *Engine) runnable() int {
+	n := 0
+	for _, c := range e.cpus {
+		if c.st == running {
+			n++
+		}
+	}
+	return n
+}
+
+// minRunningLocked returns the running vCPU with the smallest (now, id), or
+// nil if none is running.
+func (e *Engine) minRunningLocked() *CPU {
+	var m *CPU
+	for _, c := range e.cpus {
+		if c.st != running {
+			continue
+		}
+		if m == nil || c.now < m.now || (c.now == m.now && c.id < m.id) {
+			m = c
+		}
+	}
+	return m
+}
+
+// signalMinLocked wakes the vCPU currently holding the minimum clock, if it
+// is parked. Caller holds e.mu.
+func (e *Engine) signalMinLocked() {
+	if m := e.minRunningLocked(); m != nil && m.waiting {
+		select {
+		case m.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// sleepLocked parks the calling vCPU until signalled. Caller holds e.mu;
+// the lock is held again on return.
+func (e *Engine) sleepLocked(c *CPU) {
+	c.waiting = true
+	e.mu.Unlock()
+	<-c.wake
+	e.mu.Lock()
+	c.waiting = false
+}
+
+// isMinLocked reports whether c holds the global minimum (now, id) among
+// running vCPUs. Caller holds e.mu.
+func (e *Engine) isMinLocked(c *CPU) bool {
+	for _, o := range e.cpus {
+		if o == c || o.st != running {
+			continue
+		}
+		if o.now < c.now || (o.now == c.now && o.id < c.id) {
+			return false
+		}
+	}
+	return true
+}
+
+// gateLocked blocks until c holds the global minimum clock. Caller holds
+// e.mu; the lock is held on return.
+//
+// Before parking, the current minimum is signalled: the caller may have just
+// changed the ordering (e.g. by folding lazy charges into its clock) without
+// any other notification reaching the vCPU that now holds the minimum.
+func (e *Engine) gateLocked(c *CPU) {
+	for !e.isMinLocked(c) {
+		e.signalMinLocked()
+		e.sleepLocked(c)
+	}
+}
+
+// flushLazyLocked folds deferred charges into the clock. The deferred work
+// happened strictly before any interaction with shared state, so applying it
+// before gating preserves causal order. Caller holds e.mu.
+func (c *CPU) flushLazyLocked() {
+	if c.lazy != 0 {
+		c.now += c.lazy
+		c.Advanced += c.lazy
+		c.lazy = 0
+	}
+}
+
+// ID returns the vCPU's stable identifier.
+func (c *CPU) ID() int { return c.id }
+
+// Now returns the vCPU's current virtual time including pending lazy charges.
+func (c *CPU) Now() int64 {
+	c.e.mu.Lock()
+	defer c.e.mu.Unlock()
+	return c.now + c.lazy
+}
+
+// AdvanceLazy charges d nanoseconds without synchronizing with the engine.
+// Use it for private work (TLB hits, guest-internal costs) between shared
+// operations; the charge is folded in at the next engine operation. Cheap:
+// no locking, no scheduling.
+func (c *CPU) AdvanceLazy(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative lazy advance %d", d))
+	}
+	c.lazy += d
+}
+
+// Advance charges d nanoseconds of virtual latency (hardware transition,
+// device service time, …). Latency advances are never dilated by core
+// oversubscription.
+func (c *CPU) Advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative advance %d", d))
+	}
+	e := c.e
+	e.mu.Lock()
+	c.flushLazyLocked()
+	e.gateLocked(c)
+	c.now += d
+	c.Advanced += d
+	e.signalMinLocked()
+	e.mu.Unlock()
+}
+
+// Compute charges d nanoseconds of CPU-bound work. When more vCPUs are
+// runnable than the engine's simulated core count, the charge is dilated
+// proportionally, modeling timeslicing on an oversubscribed machine.
+func (c *CPU) Compute(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("vclock: negative compute %d", d))
+	}
+	e := c.e
+	e.mu.Lock()
+	c.flushLazyLocked()
+	e.gateLocked(c)
+	if e.cores > 0 {
+		if r := e.runnable(); r > e.cores {
+			d = d * int64(r) / int64(e.cores)
+		}
+	}
+	c.now += d
+	c.Advanced += d
+	e.signalMinLocked()
+	e.mu.Unlock()
+}
+
+// Sync blocks until the vCPU holds the minimum clock without advancing it.
+// Use it to order a side-effecting operation (e.g. mutating shared simulator
+// state) into the deterministic schedule. The mutation must complete before
+// the vCPU's next engine operation.
+func (c *CPU) Sync() {
+	e := c.e
+	e.mu.Lock()
+	c.flushLazyLocked()
+	e.gateLocked(c)
+	e.signalMinLocked()
+	e.mu.Unlock()
+}
+
+// Done removes the vCPU from scheduling. Idempotent.
+func (c *CPU) Done() {
+	e := c.e
+	e.mu.Lock()
+	c.flushLazyLocked()
+	c.st = done
+	e.signalMinLocked()
+	e.mu.Unlock()
+}
+
+// Lock is a virtual mutex. Contention is charged in virtual time: a vCPU
+// acquiring a lock held until time t resumes at t. All acquisitions and
+// handoffs are deterministic (waiters are granted in (clock, id) order).
+// While a vCPU holds a virtual lock, no other vCPU contending for it can run
+// its critical section, so lock-protected shared structures need no separate
+// Go-level synchronization.
+//
+// The zero value is unusable; create locks with Engine.NewLock.
+type Lock struct {
+	e    *Engine
+	name string
+
+	held    bool
+	holder  *CPU
+	freeAt  int64
+	waiters []*CPU
+
+	lastAcquire int64
+
+	// Statistics (read with Stats after the run).
+	acquisitions int64
+	contended    int64
+	waitTime     int64
+	heldTime     int64
+}
+
+// NewLock creates a named virtual lock managed by this engine.
+func (e *Engine) NewLock(name string) *Lock {
+	return &Lock{e: e, name: name}
+}
+
+// Name returns the lock's diagnostic name.
+func (l *Lock) Name() string { return l.name }
+
+// LockStats is a snapshot of a virtual lock's contention counters.
+type LockStats struct {
+	Name         string
+	Acquisitions int64
+	Contended    int64 // acquisitions that had to wait
+	WaitTime     int64 // total virtual ns spent waiting
+	HeldTime     int64 // total virtual ns the lock was held
+}
+
+// Stats returns a snapshot of the lock's counters.
+func (l *Lock) Stats() LockStats {
+	l.e.mu.Lock()
+	defer l.e.mu.Unlock()
+	return LockStats{
+		Name:         l.name,
+		Acquisitions: l.acquisitions,
+		Contended:    l.contended,
+		WaitTime:     l.waitTime,
+		HeldTime:     l.heldTime,
+	}
+}
+
+// Acquire takes the lock on behalf of c, advancing c's clock past any
+// contention. Recursive acquisition panics.
+func (l *Lock) Acquire(c *CPU) {
+	e := l.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c.flushLazyLocked()
+	e.gateLocked(c)
+	if l.held {
+		if l.holder == c {
+			panic("vclock: recursive acquisition of " + l.name)
+		}
+		// Park until a release hands the lock to us.
+		c.st = lockWait
+		l.waiters = append(l.waiters, c)
+		e.signalMinLocked()
+		for l.holder != c {
+			e.sleepLocked(c)
+		}
+		// Handoff complete: Release already updated our clock and the
+		// lock bookkeeping.
+		return
+	}
+	if l.freeAt > c.now {
+		// Cannot happen under conservative ordering (the releaser held
+		// the minimum clock), but stay safe.
+		l.contended++
+		l.waitTime += l.freeAt - c.now
+		c.now = l.freeAt
+	}
+	l.held = true
+	l.holder = c
+	l.lastAcquire = c.now
+	l.acquisitions++
+	e.signalMinLocked()
+}
+
+// Release drops the lock, recording held time, and deterministically hands it
+// to the waiting vCPU with the smallest (clock, id), if any. The recipient's
+// clock is advanced to the release time, charging the wait as contention.
+func (l *Lock) Release(c *CPU) {
+	e := l.e
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !l.held || l.holder != c {
+		panic("vclock: release of " + l.name + " by non-holder")
+	}
+	c.flushLazyLocked()
+	l.heldTime += c.now - l.lastAcquire
+	l.freeAt = c.now
+	if len(l.waiters) == 0 {
+		l.held = false
+		l.holder = nil
+		e.signalMinLocked()
+		return
+	}
+	// Deterministic handoff: smallest (now, id) waiter wins.
+	best := 0
+	for i, w := range l.waiters[1:] {
+		if w.now < l.waiters[best].now ||
+			(w.now == l.waiters[best].now && w.id < l.waiters[best].id) {
+			best = i + 1
+		}
+	}
+	w := l.waiters[best]
+	l.waiters = append(l.waiters[:best], l.waiters[best+1:]...)
+	l.contended++
+	if w.now < l.freeAt {
+		l.waitTime += l.freeAt - w.now
+		w.now = l.freeAt
+	}
+	l.holder = w
+	l.lastAcquire = w.now
+	l.acquisitions++
+	w.st = running
+	// Wake the recipient directly; it may not be the global minimum yet,
+	// but it must observe the handoff and re-park in gateLocked order on
+	// its next operation. It is safe for it to run: its critical section
+	// is ordered by the lock itself.
+	if w.waiting {
+		select {
+		case w.wake <- struct{}{}:
+		default:
+		}
+	}
+	e.signalMinLocked()
+}
+
+// With runs fn while holding the lock, charging hold nanoseconds of work
+// inside the critical section before releasing.
+func (l *Lock) With(c *CPU, hold int64, fn func()) {
+	l.Acquire(c)
+	if fn != nil {
+		fn()
+	}
+	if hold > 0 {
+		c.Advance(hold)
+	}
+	l.Release(c)
+}

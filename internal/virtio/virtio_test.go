@@ -1,0 +1,90 @@
+package virtio
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cost"
+)
+
+func TestBatchingByRingDepth(t *testing.T) {
+	d := NewDevice(Blk, cost.Default(), 4)
+	b := d.Submit(10, 4096)
+	if b.Kicks != 3 { // ceil(10/4)
+		t.Errorf("kicks = %d, want 3", b.Kicks)
+	}
+	if b.Completes != 3 {
+		t.Errorf("completes = %d, want 3", b.Completes)
+	}
+	if b.Service <= 0 {
+		t.Error("non-positive service time")
+	}
+	st := d.Stats()
+	if st.Requests != 10 || st.Bytes != 40960 || st.Kicks != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestPipeliningCheaperThanSerial(t *testing.T) {
+	d := NewDevice(Blk, cost.Default(), 128)
+	one := d.Submit(1, 4096).Service
+	batch := d.Submit(16, 4096).Service
+	if batch >= 16*one {
+		t.Errorf("batched service %d should be cheaper than 16 serial (%d)", batch, 16*one)
+	}
+	if batch <= one {
+		t.Errorf("16 requests (%d) cannot be cheaper than 1 (%d)", batch, one)
+	}
+}
+
+func TestNetVsBlkLatency(t *testing.T) {
+	p := cost.Default()
+	blk := NewDevice(Blk, p, 128).Submit(1, 4096).Service
+	net := NewDevice(Net, p, 128).Submit(1, 1400).Service
+	if net >= blk {
+		t.Errorf("one packet (%d) should be cheaper than one block (%d)", net, blk)
+	}
+}
+
+func TestLargeRequestsScale(t *testing.T) {
+	d := NewDevice(Blk, cost.Default(), 128)
+	small := d.Submit(1, 4096).Service
+	large := d.Submit(1, 65536).Service
+	if large <= small {
+		t.Errorf("64 KiB request (%d) should cost more than 4 KiB (%d)", large, small)
+	}
+}
+
+func TestZeroAndDefaultDepth(t *testing.T) {
+	d := NewDevice(Blk, cost.Default(), 0)
+	if b := d.Submit(0, 4096); b != (Batch{}) {
+		t.Errorf("empty submit = %+v, want zero", b)
+	}
+	if d.String() == "" || d.Kind() != Blk {
+		t.Error("device identity broken")
+	}
+	b := d.Submit(128, 4096)
+	if b.Kicks != 1 {
+		t.Errorf("default depth should fit 128 requests in one kick, got %d", b.Kicks)
+	}
+}
+
+// Property: kicks == ceil(n/depth), service monotone in n.
+func TestPropertyBatching(t *testing.T) {
+	p := cost.Default()
+	f := func(nRaw, depthRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		depth := int(depthRaw%64) + 1
+		d := NewDevice(Blk, p, depth)
+		b := d.Submit(n, 4096)
+		wantKicks := int64((n + depth - 1) / depth)
+		if b.Kicks != wantKicks {
+			return false
+		}
+		b2 := NewDevice(Blk, p, depth).Submit(n+1, 4096)
+		return b2.Service >= b.Service
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

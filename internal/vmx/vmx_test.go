@@ -1,0 +1,110 @@
+package vmx
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+)
+
+func TestExitReasonMapping(t *testing.T) {
+	cases := map[arch.PrivOp]ExitReason{
+		arch.OpHypercall: ExitHypercall,
+		arch.OpException: ExitException,
+		arch.OpMSRAccess: ExitMSRAccess,
+		arch.OpCPUID:     ExitCPUID,
+		arch.OpPIO:       ExitIO,
+		arch.OpHLT:       ExitHLT,
+		arch.OpWriteCR3:  ExitCR3Write,
+		arch.OpIret:      ExitException,
+	}
+	for op, want := range cases {
+		if got := ExitForPrivOp(op); got != want {
+			t.Errorf("ExitForPrivOp(%v) = %v, want %v", op, got, want)
+		}
+	}
+	for r := ExitReason(0); r < numExitReasons; r++ {
+		if r.String() == "" {
+			t.Errorf("exit reason %d has no name", r)
+		}
+	}
+}
+
+func TestVMCSTrappedAccesses(t *testing.T) {
+	// Without VMCS shadowing, every non-root VMREAD/VMWRITE traps —
+	// the 40–50 exits per nested world switch the paper cites (§2.1).
+	v := NewVMCS("vmcs12")
+	traps := 0
+	v.OnTrappedAccess = func() { traps++ }
+	for i := 0; i < 20; i++ {
+		v.Read(arch.NonRootMode)
+		v.Write(arch.NonRootMode)
+	}
+	if traps != 40 {
+		t.Errorf("non-shadowed accesses trapped %d times, want 40", traps)
+	}
+	// Root-mode accesses never trap.
+	v.Read(arch.RootMode)
+	v.Write(arch.RootMode)
+	if traps != 40 {
+		t.Error("root-mode access trapped")
+	}
+	// With shadowing enabled, non-root accesses stop trapping.
+	v.Shadowed = true
+	v.Read(arch.NonRootMode)
+	v.Write(arch.NonRootMode)
+	if traps != 40 {
+		t.Error("shadowed access trapped")
+	}
+	r, w := v.Accesses()
+	if r != 22 || w != 22 {
+		t.Errorf("accesses = (%d, %d), want (22, 22)", r, w)
+	}
+}
+
+func TestMergeBuildsVMCS02(t *testing.T) {
+	vmcs01 := NewVMCS("vmcs01")
+	vmcs01.HostState = CPUState{CR3: 0x100, Ring: arch.Ring0}
+	vmcs12 := NewVMCS("vmcs12")
+	vmcs12.GuestState = CPUState{CR3: 0x200, Ring: arch.Ring3, PCID: 7}
+	vmcs12.VPID = 9
+	vmcs12.InjectEvent(14, true, 0xdead000)
+
+	vmcs02 := NewVMCS("vmcs02")
+	vmcs02.EPTP = 0x300 // compressed EPT02 installed by L0
+	Merge(vmcs02, vmcs01, vmcs12)
+
+	if vmcs02.GuestState != vmcs12.GuestState {
+		t.Error("guest state not taken from VMCS12")
+	}
+	if vmcs02.HostState != vmcs01.HostState {
+		t.Error("host state not taken from VMCS01")
+	}
+	if vmcs02.VPID != 9 || vmcs02.EPTP != 0x300 {
+		t.Errorf("vpid/eptp = %d/%#x", vmcs02.VPID, vmcs02.EPTP)
+	}
+	ev, ok := vmcs02.TakeEvent()
+	if !ok || ev.Vector != 14 || !ev.IsFault || ev.Addr != 0xdead000 {
+		t.Errorf("pending event not merged: %+v %v", ev, ok)
+	}
+	if _, ok := vmcs02.TakeEvent(); ok {
+		t.Error("event not consumed")
+	}
+	if vmcs02.Merges() != 1 {
+		t.Errorf("merge count = %d, want 1", vmcs02.Merges())
+	}
+}
+
+func TestSwitcherStateScrubsRegisters(t *testing.T) {
+	var s PerVCPUSwitcherState
+	s.SaveGuest(CPUState{CR3: 5, Ring: arch.Ring3})
+	if s.ScrubbedGPRs != arch.ScrubbedGPRs {
+		t.Errorf("scrubbed = %d, want %d", s.ScrubbedGPRs, arch.ScrubbedGPRs)
+	}
+	got := s.RestoreGuest()
+	if got.CR3 != 5 {
+		t.Error("guest state lost across save/restore")
+	}
+	if s.Saves != 1 || s.Restores != 1 {
+		t.Errorf("saves/restores = %d/%d", s.Saves, s.Restores)
+	}
+}

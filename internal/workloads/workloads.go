@@ -1,0 +1,264 @@
+// Package workloads implements the application workloads of the paper's
+// evaluation as operation-mix generators driven through the simulated guest
+// kernel:
+//
+//   - Membench: the hand-crafted memory micro-benchmark of Figures 4 and 10
+//     (1 MiB allocations, page-granular touches, with or without release).
+//   - Kbuild: Linux kernel build — fork/exec per compilation unit, compute,
+//     and file I/O (Figure 11a).
+//   - Blogbench: busy file-server load (Figure 11b).
+//   - SPECjbb: JVM transaction batches with heap growth and GC cycles
+//     (Figure 11c).
+//   - Fluidanimate: PARSEC fluid simulation with blocking barrier
+//     synchronization — the HLT-heavy workload PVM wins (Figures 11d, 12).
+//   - CloudSuite data/graph/in-memory analytics (Figure 13).
+//
+// The absolute compute constants are arbitrary; what matters — and what the
+// experiments compare — is the ratio of virtualization events (faults,
+// syscalls, HLTs, I/O kicks, interrupts) to useful work, which follows each
+// application's published characterization.
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/guest"
+	"repro/internal/interrupt"
+)
+
+// PagesPerMiB is the page count of one MiB.
+const PagesPerMiB = 1 << 20 / arch.PageSize // 256
+
+// MembenchChunkPages is the benchmark's allocation unit (1 MiB).
+const MembenchChunkPages = PagesPerMiB
+
+// MembenchCumulative is the Figure 4 micro-benchmark: sequentially allocate
+// 1 MiB regions and touch their pages one by one, keeping everything
+// resident, until totalPages have been touched. Returns elapsed virtual ns.
+func MembenchCumulative(p *guest.Process, totalPages int) int64 {
+	start := p.CPU.Now()
+	for touched := 0; touched < totalPages; touched += MembenchChunkPages {
+		n := min(MembenchChunkPages, totalPages-touched)
+		base := p.Mmap(n)
+		p.TouchRange(base, n, true)
+	}
+	return p.CPU.Now() - start
+}
+
+// MembenchCycle is the Figure 10 micro-benchmark: repeatedly allocate and
+// release 1 MiB, touching each page, until totalPages have been touched.
+// With free-page reporting (the RunD deployment default), every round
+// refaults the full virtualization path.
+func MembenchCycle(p *guest.Process, totalPages int) int64 {
+	start := p.CPU.Now()
+	for touched := 0; touched < totalPages; touched += MembenchChunkPages {
+		n := min(MembenchChunkPages, totalPages-touched)
+		base := p.Mmap(n)
+		p.TouchRange(base, n, true)
+		if err := p.Munmap(base, n); err != nil {
+			panic(fmt.Sprintf("workloads: membench munmap: %v", err))
+		}
+	}
+	return p.CPU.Now() - start
+}
+
+// Kbuild compiles `units` translation units: each is a fork+exec of the
+// compiler, source reads, compute, object write, and exit. A timer interrupt
+// fires per unit (the build is long enough that ticks land constantly).
+func Kbuild(p *guest.Process, units int) int64 {
+	const (
+		ccImagePages = 420       // compiler image
+		parseCompute = 2_200_000 // ns of compile compute per unit
+		srcBlocks    = 12
+		objBlocks    = 6
+	)
+	start := p.CPU.Now()
+	for u := 0; u < units; u++ {
+		child, err := p.Fork(nil)
+		if err != nil {
+			panic(fmt.Sprintf("workloads: kbuild fork: %v", err))
+		}
+		if err := child.Exec(ccImagePages); err != nil {
+			panic(err)
+		}
+		child.BlockIO(srcBlocks, 4096)
+		// Compiler working memory: allocate, use, release.
+		heap := child.Mmap(128)
+		child.TouchRange(heap, 128, true)
+		child.Compute(parseCompute)
+		if err := child.Munmap(heap, 128); err != nil {
+			panic(err)
+		}
+		child.BlockIO(objBlocks, 4096)
+		if err := child.Exit(); err != nil {
+			panic(err)
+		}
+		p.Interrupt(interrupt.VectorTimer)
+	}
+	return p.CPU.Now() - start
+}
+
+// Blogbench reproduces a busy file server: each round writes new articles,
+// rewrites some, and serves reads, mixing file metadata syscalls, block
+// I/O, and page-cache faults. Returns a score (rounds completed) alongside
+// elapsed time via the caller's clock.
+func Blogbench(p *guest.Process, rounds int) int64 {
+	const (
+		articleBlocks = 8
+		readsPerRound = 24
+		metaBody      = 18000
+	)
+	start := p.CPU.Now()
+	for r := 0; r < rounds; r++ {
+		// Write one article: create + data + metadata.
+		p.Syscall(metaBody)
+		cache := p.Mmap(articleBlocks)
+		p.TouchRange(cache, articleBlocks, true)
+		p.BlockIO(articleBlocks, 4096)
+		// Serve reads from cache (some hit, some fault in).
+		for i := 0; i < readsPerRound; i++ {
+			p.Syscall(bodyRead)
+			p.Touch(cache+arch.VA(i%articleBlocks)*arch.PageSize, false)
+		}
+		p.NetIO(readsPerRound, 1400)
+		if err := p.Munmap(cache, articleBlocks); err != nil {
+			panic(fmt.Sprintf("workloads: blogbench munmap: %v", err))
+		}
+		p.Interrupt(interrupt.VectorTimer)
+	}
+	return p.CPU.Now() - start
+}
+
+const bodyRead = 900
+
+// SPECjbb runs JVM transaction batches: compute, heap allocation faults,
+// and periodic GC cycles that scan the live set and return garbage (the
+// alloc/GC cycle is what stresses memory virtualization in a JVM).
+// Returns elapsed virtual ns for `batches` batches; throughput is
+// batches/elapsed.
+func SPECjbb(p *guest.Process, batches int) int64 {
+	const (
+		txCompute  = 350_000 // ns per transaction batch
+		allocPages = 96      // fresh heap per batch
+		gcEvery    = 4
+	)
+	var garbage []arch.VA
+	start := p.CPU.Now()
+	for b := 0; b < batches; b++ {
+		heap := p.Mmap(allocPages)
+		p.TouchRange(heap, allocPages, true)
+		p.Compute(txCompute)
+		garbage = append(garbage, heap)
+		if (b+1)%gcEvery == 0 {
+			// GC: scan live data, release garbage.
+			p.Compute(txCompute / 4)
+			for _, g := range garbage {
+				if err := p.Munmap(g, allocPages); err != nil {
+					panic(fmt.Sprintf("workloads: specjbb gc: %v", err))
+				}
+			}
+			garbage = garbage[:0]
+		}
+		p.Interrupt(interrupt.VectorTimer)
+	}
+	for _, g := range garbage {
+		if err := p.Munmap(g, allocPages); err != nil {
+			panic(err)
+		}
+	}
+	return p.CPU.Now() - start
+}
+
+// Fluidanimate simulates PARSEC's fluid dynamics: per frame, compute over
+// the particle grid, touch the working set, and block on a barrier — two
+// HLT sleep/wake cycles per frame. The HLT path is why PVM outperforms even
+// hardware-assisted bare metal here (§4.3).
+func Fluidanimate(p *guest.Process, frames int) int64 {
+	// The simulation is synchronization-bound: five phases per frame,
+	// each ending in a barrier where threads block (HLT) and are woken
+	// by IPI — the access pattern behind §4.3's observation that PVM's
+	// hypercall-based HLT beats even hardware-assisted bare metal.
+	const (
+		frameCompute    = 200_000 // ns per frame
+		gridPages       = 64
+		haltsPerBarrier = 8
+	)
+	grid := p.Mmap(gridPages)
+	p.TouchRange(grid, gridPages, true)
+	start := p.CPU.Now()
+	for f := 0; f < frames; f++ {
+		p.Compute(frameCompute)
+		// Touch a rotating slice of the grid (cache working set).
+		p.Touch(grid+arch.VA(f%gridPages)*arch.PageSize, true)
+		// Barrier: blocking synchronization via HLT.
+		for h := 0; h < haltsPerBarrier; h++ {
+			p.Halt()
+		}
+		p.Interrupt(interrupt.VectorIPI)
+	}
+	elapsed := p.CPU.Now() - start
+	if err := p.Munmap(grid, gridPages); err != nil {
+		panic(fmt.Sprintf("workloads: fluidanimate: %v", err))
+	}
+	return elapsed
+}
+
+// CloudKind selects a CloudSuite workload (Figure 13).
+type CloudKind uint8
+
+const (
+	DataAnalytics CloudKind = iota
+	GraphAnalytics
+	InMemoryAnalytics
+)
+
+func (k CloudKind) String() string {
+	switch k {
+	case DataAnalytics:
+		return "data analytics"
+	case GraphAnalytics:
+		return "graph analytics"
+	default:
+		return "in-memory analytics"
+	}
+}
+
+// CloudSuite runs one CloudSuite workload for `rounds` rounds over a
+// dataset of datasetPages pages.
+func CloudSuite(p *guest.Process, kind CloudKind, rounds, datasetPages int) int64 {
+	data := p.Mmap(datasetPages)
+	p.TouchRange(data, datasetPages, true) // load the dataset
+	start := p.CPU.Now()
+	for r := 0; r < rounds; r++ {
+		switch kind {
+		case DataAnalytics:
+			// Streaming scan with I/O: sequential touches + reads.
+			for i := 0; i < datasetPages; i += 8 {
+				p.Touch(data+arch.VA(i)*arch.PageSize, false)
+			}
+			p.BlockIO(16, 4096)
+			p.Compute(1_200_000)
+		case GraphAnalytics:
+			// Pointer chasing: scattered touches, heavy compute.
+			for i := 0; i < datasetPages; i += 3 {
+				p.Touch(data+arch.VA((i*7)%datasetPages)*arch.PageSize, false)
+			}
+			p.Compute(2_000_000)
+		case InMemoryAnalytics:
+			// Allocation-heavy aggregation: scratch space per round.
+			scratch := p.Mmap(192)
+			p.TouchRange(scratch, 192, true)
+			p.Compute(900_000)
+			if err := p.Munmap(scratch, 192); err != nil {
+				panic(fmt.Sprintf("workloads: cloudsuite: %v", err))
+			}
+		}
+		p.Interrupt(interrupt.VectorTimer)
+	}
+	elapsed := p.CPU.Now() - start
+	if err := p.Munmap(data, datasetPages); err != nil {
+		panic(err)
+	}
+	return elapsed
+}

@@ -1,0 +1,147 @@
+package workloads
+
+import (
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/guest"
+)
+
+func run(t *testing.T, cfg backend.Config, image int, fn func(p *guest.Process) int64) (int64, *backend.System) {
+	t.Helper()
+	s := backend.NewSystem(cfg, backend.DefaultOptions())
+	g, err := s.NewGuest("w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out int64
+	g.Run(0, image, func(p *guest.Process) { out = fn(p) })
+	s.Eng.Wait()
+	return out, s
+}
+
+func TestMembenchCumulativeTouchesEverything(t *testing.T) {
+	elapsed, s := run(t, backend.KVMEPTBM, 4, func(p *guest.Process) int64 {
+		return MembenchCumulative(p, 2*PagesPerMiB)
+	})
+	if elapsed <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	// Every page demand-faults exactly once: image+stack+2 MiB.
+	want := int64(2*PagesPerMiB + 4 + guest.StackPages)
+	if got := s.Ctr.GuestFaults.Load(); got != want {
+		t.Errorf("guest faults = %d, want %d", got, want)
+	}
+}
+
+func TestMembenchCycleRefaults(t *testing.T) {
+	// With release + free-page reporting, the cycle variant takes the
+	// full fault path every round, unlike cumulative.
+	cumulative, _ := run(t, backend.KVMEPTNST, 4, func(p *guest.Process) int64 {
+		return MembenchCumulative(p, 4*PagesPerMiB)
+	})
+	cycle, s := run(t, backend.KVMEPTNST, 4, func(p *guest.Process) int64 {
+		return MembenchCycle(p, 4*PagesPerMiB)
+	})
+	if cycle <= cumulative {
+		t.Errorf("cycle (%d) should cost more than cumulative (%d): munmap traps + refaults", cycle, cumulative)
+	}
+	if s.Ctr.EPTViolations.Load() < 4*PagesPerMiB {
+		t.Errorf("EPT violations = %d, want >= %d (every round refaults)",
+			s.Ctr.EPTViolations.Load(), 4*PagesPerMiB)
+	}
+}
+
+func TestKbuildForksAndIO(t *testing.T) {
+	_, s := run(t, backend.PVMNST, 64, func(p *guest.Process) int64 {
+		return Kbuild(p, 3)
+	})
+	snap := s.Ctr.Snapshot()
+	if snap.Forks != 3 || snap.Execs != 3 {
+		t.Errorf("forks/execs = %d/%d, want 3/3", snap.Forks, snap.Execs)
+	}
+	if snap.IORequests == 0 {
+		t.Error("kbuild issued no I/O")
+	}
+	if snap.Interrupts != 3 {
+		t.Errorf("interrupts = %d, want 3 (one per unit)", snap.Interrupts)
+	}
+}
+
+func TestSPECjbbReleasesHeap(t *testing.T) {
+	_, s := run(t, backend.PVMNST, 16, func(p *guest.Process) int64 {
+		return SPECjbb(p, 8)
+	})
+	// All transient heap must be gone after the run (process exited).
+	for _, g := range s.Guests() {
+		if got := g.Kern.GPA.InUse(); got != 0 {
+			t.Errorf("guest frames leaked: %d", got)
+		}
+	}
+}
+
+func TestFluidanimateHLTBound(t *testing.T) {
+	// PVM's hypercall HLT beats hardware-assisted HLT even on bare
+	// metal — the §4.3 observation.
+	kvmBM, _ := run(t, backend.KVMEPTBM, 16, func(p *guest.Process) int64 {
+		return Fluidanimate(p, 12)
+	})
+	pvmNST, _ := run(t, backend.PVMNST, 16, func(p *guest.Process) int64 {
+		return Fluidanimate(p, 12)
+	})
+	kvmNST, _ := run(t, backend.KVMEPTNST, 16, func(p *guest.Process) int64 {
+		return Fluidanimate(p, 12)
+	})
+	if pvmNST >= kvmBM {
+		t.Errorf("fluidanimate: pvm (NST) %d should beat kvm-ept (BM) %d via cheap HLT", pvmNST, kvmBM)
+	}
+	if kvmNST <= kvmBM {
+		t.Errorf("fluidanimate: kvm (NST) %d should exceed kvm (BM) %d", kvmNST, kvmBM)
+	}
+}
+
+func TestBlogbenchMixes(t *testing.T) {
+	_, s := run(t, backend.KVMEPTBM, 32, func(p *guest.Process) int64 {
+		return Blogbench(p, 5)
+	})
+	snap := s.Ctr.Snapshot()
+	if snap.IORequests == 0 || snap.Syscalls == 0 || snap.GuestFaults == 0 {
+		t.Errorf("blogbench mix incomplete: %s", snap)
+	}
+}
+
+func TestCloudSuiteKinds(t *testing.T) {
+	for _, k := range []CloudKind{DataAnalytics, GraphAnalytics, InMemoryAnalytics} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		elapsed, _ := run(t, backend.PVMNST, 32, func(p *guest.Process) int64 {
+			return CloudSuite(p, k, 2, 128)
+		})
+		if elapsed <= 0 {
+			t.Errorf("%v: no time elapsed", k)
+		}
+	}
+}
+
+func TestCloudSuitePVMBeatsNestedKVM(t *testing.T) {
+	for _, k := range []CloudKind{DataAnalytics, InMemoryAnalytics} {
+		kvm, _ := run(t, backend.KVMEPTNST, 32, func(p *guest.Process) int64 {
+			return CloudSuite(p, k, 2, 256)
+		})
+		pvm, _ := run(t, backend.PVMNST, 32, func(p *guest.Process) int64 {
+			return CloudSuite(p, k, 2, 256)
+		})
+		if pvm >= kvm {
+			t.Errorf("%v: pvm (NST) %d should beat kvm-ept (NST) %d", k, pvm, kvm)
+		}
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a, _ := run(t, backend.PVMNST, 32, func(p *guest.Process) int64 { return SPECjbb(p, 6) })
+	b, _ := run(t, backend.PVMNST, 32, func(p *guest.Process) int64 { return SPECjbb(p, 6) })
+	if a != b {
+		t.Errorf("specjbb nondeterministic: %d vs %d", a, b)
+	}
+}
