@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test check bench artifacts
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check is the PR gate: full build, vet, and the concurrency-sensitive
+# packages (the engine and the parallel experiment runner) under the race
+# detector.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./internal/vclock/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench . -benchmem ./internal/vclock/ ./internal/tlb/ ./internal/pagetable/
+
+# artifacts regenerates the captured default-scale experiment output.
+artifacts:
+	$(GO) run ./cmd/pvmbench -exp all -scale default > results_default.txt

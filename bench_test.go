@@ -3,6 +3,7 @@ package pvm
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 
 	"repro/internal/experiments"
@@ -24,6 +25,22 @@ func benchExperiment(b *testing.B, id string) {
 	}
 }
 
+// benchExperimentParallel is benchExperiment with the cell fan-out enabled.
+// Comparing e.g. BenchmarkFig10 against BenchmarkFig10Parallel shows the
+// host-side speedup of the parallel runner; outputs are byte-identical
+// (TestSerialParallelByteIdentical).
+func benchExperimentParallel(b *testing.B, id string, workers int) {
+	b.Helper()
+	sc := experiments.QuickScale()
+	sc.Parallel = workers
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, sc, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkTable1(b *testing.B)     { benchExperiment(b, "table1") }     // VM exit/entry latency
 func BenchmarkTable2(b *testing.B)     { benchExperiment(b, "table2") }     // get_pid syscall latency
 func BenchmarkTable3(b *testing.B)     { benchExperiment(b, "table3") }     // LMbench processes
@@ -35,6 +52,10 @@ func BenchmarkFig11(b *testing.B)      { benchExperiment(b, "fig11") }      // r
 func BenchmarkFig12(b *testing.B)      { benchExperiment(b, "fig12") }      // high-density fluidanimate
 func BenchmarkFig13(b *testing.B)      { benchExperiment(b, "fig13") }      // CloudSuite
 func BenchmarkSwitchCost(b *testing.B) { benchExperiment(b, "switchcost") } // §2.2/§3.3.2 switch costs
+
+func BenchmarkFig10Parallel(b *testing.B)  { benchExperimentParallel(b, "fig10", runtime.NumCPU()) }
+func BenchmarkFig11Parallel(b *testing.B)  { benchExperimentParallel(b, "fig11", runtime.NumCPU()) }
+func BenchmarkTable1Parallel(b *testing.B) { benchExperimentParallel(b, "table1", runtime.NumCPU()) }
 
 // Hot-path micro-benchmarks of the simulator itself (per virtualization
 // event). VirtualNSPerOp reports the modeled virtual cost alongside.

@@ -5,15 +5,20 @@
 //
 //	pvmbench -list
 //	pvmbench -exp fig4 [-scale default|quick|full]
-//	pvmbench -exp all
+//	pvmbench -exp all [-parallel N]
+//	pvmbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
-// Every run is deterministic for a given scale.
+// Every run is deterministic for a given scale: -parallel only fans
+// independent experiment cells across host workers and never changes the
+// output bytes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -21,9 +26,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		scale = flag.String("scale", "default", "workload scale: quick, default, or full")
-		list  = flag.Bool("list", false, "list available experiments")
+		exp        = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		scale      = flag.String("scale", "default", "workload scale: quick, default, or full")
+		list       = flag.Bool("list", false, "list available experiments")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "host worker goroutines for independent experiment cells (<=1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
 	)
 	flag.Parse()
 
@@ -51,6 +59,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pvmbench: unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	sc.Parallel = *parallel
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	start := time.Now()
 	var err error
@@ -63,5 +86,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n(%s wall-clock)\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("\n(%s wall-clock, %d workers)\n", time.Since(start).Round(time.Millisecond), *parallel)
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
 }

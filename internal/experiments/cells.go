@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// runCells executes n independent simulation cells — each builds its own
+// isolated System/Engine — fanning them across sc.Parallel host workers, and
+// returns the per-cell results in cell-index order.
+//
+// Because every cell is a self-contained deterministic simulation and the
+// results are assembled by index, the output is byte-identical whether the
+// cells run serially or on any number of workers; only wall-clock time
+// changes. A panic inside a cell is re-raised on the calling goroutine after
+// all workers drain, so error behavior matches the serial path.
+func runCells[T any](sc Scale, n int, cell func(i int) T) []T {
+	out := make([]T, n)
+	workers := sc.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = cell(i)
+		}
+		return out
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicMu  sync.Mutex
+		panicked any
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = r
+							}
+							panicMu.Unlock()
+						}
+					}()
+					out[i] = cell(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
+	return out
+}

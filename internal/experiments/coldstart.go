@@ -27,38 +27,42 @@ func coldstart(sc Scale, w io.Writer) error {
 	for _, b := range bursts {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d", b))
 	}
-	for _, cfg := range paperConfigs() {
-		row := metrics.TableRow{Label: cfg.String()}
-		for _, b := range bursts {
-			opt := backend.DefaultOptions()
-			opt.Cores = sc.Cores
-			s := backend.NewSystem(cfg, opt)
-			rt := container.NewRuntime(s)
-			cs, err := rt.DeployFleet(b, 32, 10_000, func(i int, p *guest.Process) {
-				// A short serverless function body.
-				heap := p.Mmap(64)
-				p.TouchRange(heap, 64, true)
-				p.Compute(200_000)
-				_ = workloads.PagesPerMiB
-				if err := p.Munmap(heap, 64); err != nil {
-					panic(err)
-				}
-			})
-			if err != nil {
+	// One cell per (configuration, burst size) pair.
+	cfgs := paperConfigs()
+	nb := len(bursts)
+	vals := runCells(sc, len(cfgs)*nb, func(i int) string {
+		opt := backend.DefaultOptions()
+		opt.Cores = sc.Cores
+		s := backend.NewSystem(cfgs[i/nb], opt)
+		rt := container.NewRuntime(s)
+		cs, err := rt.DeployFleet(bursts[i%nb], 32, 10_000, func(_ int, p *guest.Process) {
+			// A short serverless function body.
+			heap := p.Mmap(64)
+			p.TouchRange(heap, 64, true)
+			p.Compute(200_000)
+			_ = workloads.PagesPerMiB
+			if err := p.Munmap(heap, 64); err != nil {
 				panic(err)
 			}
-			var worst int64
-			for _, c := range cs {
-				if c.StartupLatency() > worst {
-					worst = c.StartupLatency()
-				}
-			}
-			cell := fmt.Sprintf("%.1f", float64(worst)/1e6)
-			if rt.Failures() > 0 {
-				cell += fmt.Sprintf(" X(%d)", rt.Failures())
-			}
-			row.Cells = append(row.Cells, cell)
+		})
+		if err != nil {
+			panic(err)
 		}
+		var worst int64
+		for _, c := range cs {
+			if c.StartupLatency() > worst {
+				worst = c.StartupLatency()
+			}
+		}
+		cell := fmt.Sprintf("%.1f", float64(worst)/1e6)
+		if rt.Failures() > 0 {
+			cell += fmt.Sprintf(" X(%d)", rt.Failures())
+		}
+		return cell
+	})
+	for ci, cfg := range cfgs {
+		row := metrics.TableRow{Label: cfg.String()}
+		row.Cells = append(row.Cells, vals[ci*nb:(ci+1)*nb]...)
 		t.Rows = append(t.Rows, row)
 	}
 	_, err := io.WriteString(w, t.Format())

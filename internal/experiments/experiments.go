@@ -44,6 +44,12 @@ type Scale struct {
 	Fig4Procs []int
 	// Fig11Concurrency are the Figure 11 container counts.
 	Fig11Concurrency []int
+	// Parallel is the number of host worker goroutines used to fan the
+	// independent simulation cells of an experiment grid (one isolated
+	// Engine per cell) across CPUs. Zero or one runs cells serially.
+	// Results are always assembled in cell-index order, so the output
+	// bytes are identical at every setting.
+	Parallel int
 }
 
 // DefaultScale returns a laptop-friendly scale (seconds per experiment).

@@ -38,7 +38,9 @@ func futureExp(sc Scale, w io.Writer) error {
 	}
 	procs := 8
 	pages := sc.MembenchMiB * workloads.PagesPerMiB
-	for _, v := range variants {
+	// One cell per variant.
+	rows := runCells(sc, len(variants), func(i int) []string {
+		v := variants[i]
 		opt := backend.DefaultOptions()
 		opt.Cores = sc.Cores
 		v.mut(&opt)
@@ -47,7 +49,7 @@ func futureExp(sc Scale, w io.Writer) error {
 		if err != nil {
 			panic(err)
 		}
-		for i := 0; i < procs; i++ {
+		for j := 0; j < procs; j++ {
 			g.Run(0, 4, func(p *guest.Process) {
 				workloads.MembenchCycle(p, pages)
 			})
@@ -58,14 +60,14 @@ func futureExp(sc Scale, w io.Writer) error {
 		if snap.GuestFaults > 0 {
 			perFault = float64(snap.WorldSwitches) / float64(snap.GuestFaults)
 		}
-		t.Rows = append(t.Rows, metrics.TableRow{
-			Label: v.name,
-			Cells: []string{
-				fmt.Sprintf("%.3f", float64(s.Eng.Makespan())/1e6),
-				fmt.Sprintf("%.1f", perFault),
-				fmt.Sprintf("%d", snap.PTEWriteTraps),
-			},
-		})
+		return []string{
+			fmt.Sprintf("%.3f", float64(s.Eng.Makespan())/1e6),
+			fmt.Sprintf("%.1f", perFault),
+			fmt.Sprintf("%d", snap.PTEWriteTraps),
+		}
+	})
+	for vi, v := range variants {
+		t.Rows = append(t.Rows, metrics.TableRow{Label: v.name, Cells: rows[vi]})
 	}
 	_, err := io.WriteString(w, t.Format())
 	return err
@@ -95,8 +97,13 @@ func vmcsShadowExp(sc Scale, w io.Writer) error {
 		s.Eng.Wait()
 		return exits, latency
 	}
-	withE, withL := measure(true)
-	withoutE, withoutL := measure(false)
+	type res struct{ exits, latency int64 }
+	vals := runCells(sc, 2, func(i int) res {
+		e, l := measure(i == 0)
+		return res{e, l}
+	})
+	withE, withL := vals[0].exits, vals[0].latency
+	withoutE, withoutL := vals[1].exits, vals[1].latency
 	t := &metrics.Table{
 		Title:   "VMCS shadowing (per hypercall round trip); paper: 40–50 exits/switch unshadowed",
 		Columns: []string{"L0 exits", "latency (µs)"},

@@ -31,9 +31,16 @@ func table3(sc Scale, w io.Writer) error {
 		"sig hndl", "fork proc", "exec proc", "sh proc",
 	}
 	t := &metrics.Table{Title: "Table 3", Columns: append([]string{"#P"}, names...)}
-	for _, cfg := range paperConfigs() {
-		for _, procs := range []int{1, 32} {
-			res := lmProcRun(cfg, sc, procs)
+	// One cell per (configuration, process count) pair.
+	cfgs := paperConfigs()
+	procCounts := []int{1, 32}
+	np := len(procCounts)
+	vals := runCells(sc, len(cfgs)*np, func(i int) map[string]int64 {
+		return lmProcRun(cfgs[i/np], sc, procCounts[i%np])
+	})
+	for ci, cfg := range cfgs {
+		for pi, procs := range procCounts {
+			res := vals[ci*np+pi]
 			row := metrics.TableRow{Label: cfg.String(), Cells: []string{fmt.Sprintf("%d", procs)}}
 			for _, name := range names {
 				row.Cells = append(row.Cells, us(res[name]))
@@ -85,7 +92,10 @@ func table4(sc Scale, w io.Writer) error {
 		"mmap(total)", "prot fault", "page fault", "100fd select",
 	}
 	t := &metrics.Table{Title: "Table 4 (µs; mmap total in ms)", Columns: cols}
-	for _, cfg := range paperConfigs() {
+	// One cell per configuration.
+	cfgs := paperConfigs()
+	vals := runCells(sc, len(cfgs), func(i int) map[string]string {
+		cfg := cfgs[i]
 		res := map[string]string{}
 		measureOn(cfg, backend.DefaultOptions(), lmbench.ProcImagePages, func(p *guest.Process) int64 {
 			c0, d0 := lmbench.FileCreateDelete0K(p, sc.LMIters)
@@ -104,9 +114,12 @@ func table4(sc Scale, w io.Writer) error {
 			res["100fd select"] = us(sel.PerOp())
 			return 0
 		})
+		return res
+	})
+	for ci, cfg := range cfgs {
 		row := metrics.TableRow{Label: cfg.String()}
 		for _, c := range cols {
-			row.Cells = append(row.Cells, res[c])
+			row.Cells = append(row.Cells, vals[ci][c])
 		}
 		t.Rows = append(t.Rows, row)
 	}

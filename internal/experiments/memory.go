@@ -54,10 +54,15 @@ func fig4(sc Scale, w io.Writer) error {
 	for _, procs := range sc.Fig4Procs {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d proc", procs))
 	}
-	for _, r := range rows {
+	// One cell per (configuration, process count) pair.
+	np := len(sc.Fig4Procs)
+	vals := runCells(sc, len(rows)*np, func(i int) int64 {
+		return memRun(rows[i/np].cfg, backend.DefaultOptions(), sc, sc.Fig4Procs[i%np], false)
+	})
+	for ri, r := range rows {
 		row := metrics.TableRow{Label: r.name}
-		for _, procs := range sc.Fig4Procs {
-			row.Cells = append(row.Cells, seconds(memRun(r.cfg, backend.DefaultOptions(), sc, procs, false)))
+		for pi := range sc.Fig4Procs {
+			row.Cells = append(row.Cells, seconds(vals[ri*np+pi]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -103,10 +108,17 @@ func fig10(sc Scale, w io.Writer) error {
 	for _, procs := range sc.Fig10Procs {
 		t.Columns = append(t.Columns, fmt.Sprintf("%d", procs))
 	}
-	for _, v := range fig10Variants() {
+	// One cell per (variant, process count) pair.
+	variants := fig10Variants()
+	np := len(sc.Fig10Procs)
+	vals := runCells(sc, len(variants)*np, func(i int) int64 {
+		v := variants[i/np]
+		return memRun(v.cfg, v.opt, sc, sc.Fig10Procs[i%np], true)
+	})
+	for vi, v := range variants {
 		row := metrics.TableRow{Label: v.name}
-		for _, procs := range sc.Fig10Procs {
-			row.Cells = append(row.Cells, seconds(memRun(v.cfg, v.opt, sc, procs, true)))
+		for pi := range sc.Fig10Procs {
+			row.Cells = append(row.Cells, seconds(vals[vi*np+pi]))
 		}
 		t.Rows = append(t.Rows, row)
 	}

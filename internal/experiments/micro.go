@@ -70,16 +70,20 @@ func table1(sc Scale, w io.Writer) error {
 	for _, c := range cfgs {
 		t.Columns = append(t.Columns, c.name)
 	}
-	for _, o := range ops {
+	// One cell per (operation, configuration, KPTI) triple.
+	nc := len(cfgs)
+	vals := runCells(sc, len(ops)*nc*2, func(i int) int64 {
+		o := ops[i/(nc*2)]
+		c := cfgs[(i/2)%nc]
+		opt := backend.DefaultOptions()
+		opt.KPTI = i%2 == 0
+		return perOp(c.cfg, opt, sc.MicroIters, func(p *guest.Process) { p.PrivOp(o.op) })
+	})
+	for oi, o := range ops {
 		row := metrics.TableRow{Label: o.name}
-		for _, c := range cfgs {
-			var cell [2]int64
-			for i, kpti := range []bool{true, false} {
-				opt := backend.DefaultOptions()
-				opt.KPTI = kpti
-				cell[i] = perOp(c.cfg, opt, sc.MicroIters, func(p *guest.Process) { p.PrivOp(o.op) })
-			}
-			row.Cells = append(row.Cells, us(cell[0])+"/"+us(cell[1]))
+		for ci := range cfgs {
+			base := (oi*nc + ci) * 2
+			row.Cells = append(row.Cells, us(vals[base])+"/"+us(vals[base+1]))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -109,17 +113,18 @@ func table2(sc Scale, w io.Writer) error {
 		Title:   "Table 2",
 		Columns: []string{"Optimization", "Syscall (µs, KPTI on/off)"},
 	}
-	for _, v := range variants {
-		var cell [2]int64
-		for i, kpti := range []bool{true, false} {
-			opt := backend.DefaultOptions()
-			opt.KPTI = kpti
-			opt.DirectSwitch = v.direct
-			cell[i] = perOp(v.cfg, opt, sc.MicroIters, func(p *guest.Process) { p.Getpid() })
-		}
+	// One cell per (variant, KPTI) pair.
+	vals := runCells(sc, len(variants)*2, func(i int) int64 {
+		v := variants[i/2]
+		opt := backend.DefaultOptions()
+		opt.KPTI = i%2 == 0
+		opt.DirectSwitch = v.direct
+		return perOp(v.cfg, opt, sc.MicroIters, func(p *guest.Process) { p.Getpid() })
+	})
+	for vi, v := range variants {
 		t.Rows = append(t.Rows, metrics.TableRow{
 			Label: v.name,
-			Cells: []string{v.note, us(cell[0]) + "/" + us(cell[1])},
+			Cells: []string{v.note, us(vals[vi*2]) + "/" + us(vals[vi*2+1])},
 		})
 	}
 	_, err := io.WriteString(w, t.Format())
@@ -134,12 +139,13 @@ func switchCost(sc Scale, w io.Writer) error {
 	opt := backend.DefaultOptions()
 	prm := backend.NewSystem(backend.KVMEPTBM, opt).Prm
 
-	hyperRT := func(cfg backend.Config) int64 {
-		return perOp(cfg, opt, sc.MicroIters, func(p *guest.Process) { p.PrivOp(arch.OpHypercall) })
-	}
-	single := (hyperRT(backend.KVMEPTBM) - prm.HandlerHypercall) / 2
-	nested := (hyperRT(backend.KVMEPTNST) - prm.HandlerHypercall - prm.NestedExitHousekeeping) / 2
-	pvm := (hyperRT(backend.PVMNST) - prm.PVMHandlerHypercall) / 2
+	cfgs := []backend.Config{backend.KVMEPTBM, backend.KVMEPTNST, backend.PVMNST}
+	rts := runCells(sc, len(cfgs), func(i int) int64 {
+		return perOp(cfgs[i], opt, sc.MicroIters, func(p *guest.Process) { p.PrivOp(arch.OpHypercall) })
+	})
+	single := (rts[0] - prm.HandlerHypercall) / 2
+	nested := (rts[1] - prm.HandlerHypercall - prm.NestedExitHousekeeping) / 2
+	pvm := (rts[2] - prm.PVMHandlerHypercall) / 2
 
 	t := &metrics.Table{
 		Title:   "World-switch cost (µs); paper: 0.105 / 1.3 / 0.179",
@@ -181,10 +187,17 @@ func fig2(sc Scale, w io.Writer) error {
 		Title:   "Figure 2: normalized exec time (kvm NST / kvm BM); 1 = no overhead",
 		Columns: []string{"KVM", "KVM (NST)"},
 	}
-	for _, b := range benches {
-		bm := runConcurrent(backend.KVMEPTBM, backend.DefaultOptions(), sc, b.conc, b.run)
-		nst := runConcurrent(backend.KVMEPTNST, backend.DefaultOptions(), sc, b.conc, b.run)
-		ratio := float64(nst) / float64(bm)
+	// One cell per (benchmark, configuration) pair: even = BM, odd = NST.
+	vals := runCells(sc, len(benches)*2, func(i int) int64 {
+		b := benches[i/2]
+		cfg := backend.KVMEPTBM
+		if i%2 == 1 {
+			cfg = backend.KVMEPTNST
+		}
+		return runConcurrent(cfg, backend.DefaultOptions(), sc, b.conc, b.run)
+	})
+	for bi, b := range benches {
+		ratio := float64(vals[bi*2+1]) / float64(vals[bi*2])
 		t.Rows = append(t.Rows, metrics.TableRow{
 			Label: b.name,
 			Cells: []string{"1.00", fmt.Sprintf("%.2f", ratio)},

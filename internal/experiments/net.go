@@ -23,18 +23,27 @@ func netctx(sc Scale, w io.Writer) error {
 		Title:   "Network & context switches",
 		Columns: []string{"tcp lat (µs)", "tcp bw (MB/s)", "lat_ctx (µs)"},
 	}
-	for _, cfg := range paperConfigs() {
-		var lat, ctx int64
-		var bw float64
-		measureOn(cfg, backend.DefaultOptions(), 32, func(p *guest.Process) int64 {
-			lat = lmbench.TCPLatency(p, sc.LMIters).PerOp()
-			bw = lmbench.TCPBandwidthMBps(p, 4)
-			ctx = lmbench.CtxSwitch(p, sc.LMIters).PerOp()
+	// One cell per configuration.
+	cfgs := paperConfigs()
+	type cellRes struct {
+		lat, ctx int64
+		bw       float64
+	}
+	vals := runCells(sc, len(cfgs), func(i int) cellRes {
+		var r cellRes
+		measureOn(cfgs[i], backend.DefaultOptions(), 32, func(p *guest.Process) int64 {
+			r.lat = lmbench.TCPLatency(p, sc.LMIters).PerOp()
+			r.bw = lmbench.TCPBandwidthMBps(p, 4)
+			r.ctx = lmbench.CtxSwitch(p, sc.LMIters).PerOp()
 			return 0
 		})
+		return r
+	})
+	for ci, cfg := range cfgs {
+		r := vals[ci]
 		t.Rows = append(t.Rows, metrics.TableRow{
 			Label: cfg.String(),
-			Cells: []string{us(lat), fmt.Sprintf("%.0f", bw), us(ctx)},
+			Cells: []string{us(r.lat), fmt.Sprintf("%.0f", r.bw), us(r.ctx)},
 		})
 	}
 	_, err := io.WriteString(w, t.Format())

@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestSerialParallelByteIdentical runs experiments serially and with the
+// parallel cell runner and asserts the output bytes are identical: the fan-out
+// must never change results, only wall-clock time.
+func TestSerialParallelByteIdentical(t *testing.T) {
+	for _, id := range []string{"table1", "fig10"} {
+		serial := QuickScale()
+		var sout bytes.Buffer
+		if err := Run(id, serial, &sout); err != nil {
+			t.Fatalf("%s serial: %v", id, err)
+		}
+		par := QuickScale()
+		par.Parallel = 8
+		var pout bytes.Buffer
+		if err := Run(id, par, &pout); err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if !bytes.Equal(sout.Bytes(), pout.Bytes()) {
+			t.Errorf("%s: serial and parallel outputs differ\n--- serial ---\n%s\n--- parallel ---\n%s",
+				id, sout.String(), pout.String())
+		}
+	}
+}
+
+// TestRunCellsOrderAndPanic checks the runner's contract directly: results
+// land at their cell index regardless of worker count, and a panicking cell
+// is re-raised on the caller.
+func TestRunCellsOrderAndPanic(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		sc := Scale{Parallel: workers}
+		got := runCells(sc, 100, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: cell %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+
+	sc := Scale{Parallel: 4}
+	boom := errors.New("boom")
+	func() {
+		defer func() {
+			if r := recover(); r != boom {
+				t.Errorf("recovered %v, want %v", r, boom)
+			}
+		}()
+		runCells(sc, 8, func(i int) int {
+			if i == 5 {
+				panic(boom)
+			}
+			return i
+		})
+		t.Error("runCells did not propagate the cell panic")
+	}()
+}

@@ -4,8 +4,11 @@
 // hypervisor, guest/shadow page faults, hypercalls, emulations, and TLB
 // flushes.
 //
-// Counters use atomics: vCPU goroutines are ordered by the vclock engine but
-// their bookkeeping may overlap in real time.
+// Counters use sharded atomics: vCPU goroutines are ordered by the vclock
+// engine but their bookkeeping may overlap in real time, and with many host
+// cores a single cache line per counter becomes a coherence hot spot. Each
+// Count spreads increments over cache-line-padded shards picked by a cheap
+// per-goroutine discriminator; Load sums the shards.
 package metrics
 
 import (
@@ -14,7 +17,44 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
+
+// countShards is the number of padded slots per counter (power of two).
+const countShards = 8
+
+// shard is one cache-line-sized slot of a Count.
+type shard struct {
+	v atomic.Int64
+	_ [56]byte // pad to 64 bytes so shards never share a line
+}
+
+// Count is a sharded, false-sharing-free event counter. The zero value is
+// ready to use. It supports the same Add/Load surface as atomic.Int64.
+type Count struct {
+	shards [countShards]shard
+}
+
+// shardIndex returns a cheap per-goroutine shard discriminator. Distinct
+// goroutines run on distinct stacks, so the stack address of a local
+// variable spreads concurrent writers across shards without any allocation
+// or runtime hook. Collisions only cost contention, never correctness.
+func shardIndex() int {
+	var b byte
+	return int(uintptr(unsafe.Pointer(&b))>>13) & (countShards - 1)
+}
+
+// Add increments the counter by d.
+func (c *Count) Add(d int64) { c.shards[shardIndex()].v.Add(d) }
+
+// Load returns the current total across all shards.
+func (c *Count) Load() int64 {
+	var t int64
+	for i := range c.shards {
+		t += c.shards[i].v.Load()
+	}
+	return t
+}
 
 // SwitchKind classifies a world switch by the transition it performs.
 type SwitchKind uint8
@@ -44,27 +84,27 @@ func (k SwitchKind) String() string {
 	return fmt.Sprintf("switch(%d)", uint8(k))
 }
 
-// Counters is a set of atomic virtualization-event counters.
+// Counters is a set of sharded atomic virtualization-event counters.
 type Counters struct {
-	switches [numSwitchKinds]atomic.Int64
+	switches [numSwitchKinds]Count
 
-	L0Exits        atomic.Int64 // arrivals at the L0 host hypervisor
-	L1Exits        atomic.Int64 // arrivals at the L1 guest hypervisor
-	GuestFaults    atomic.Int64 // page faults delivered to a guest kernel
-	ShadowFaults   atomic.Int64 // faults resolved by fixing a shadow table
-	EPTViolations  atomic.Int64 // violations resolved by fixing an EPT
-	PTEWriteTraps  atomic.Int64 // write-protected guest PTE stores emulated
-	Prefaults      atomic.Int64 // SPT entries installed by PVM's prefault
-	Hypercalls     atomic.Int64
-	Emulations     atomic.Int64 // privileged instructions emulated
-	Syscalls       atomic.Int64
-	DirectSwitches atomic.Int64
-	Interrupts     atomic.Int64
-	TLBFlushes     atomic.Int64
-	IORequests     atomic.Int64
-	COWBreaks      atomic.Int64
-	Forks          atomic.Int64
-	Execs          atomic.Int64
+	L0Exits        Count // arrivals at the L0 host hypervisor
+	L1Exits        Count // arrivals at the L1 guest hypervisor
+	GuestFaults    Count // page faults delivered to a guest kernel
+	ShadowFaults   Count // faults resolved by fixing a shadow table
+	EPTViolations  Count // violations resolved by fixing an EPT
+	PTEWriteTraps  Count // write-protected guest PTE stores emulated
+	Prefaults      Count // SPT entries installed by PVM's prefault
+	Hypercalls     Count
+	Emulations     Count // privileged instructions emulated
+	Syscalls       Count
+	DirectSwitches Count
+	Interrupts     Count
+	TLBFlushes     Count
+	IORequests     Count
+	COWBreaks      Count
+	Forks          Count
+	Execs          Count
 }
 
 // Switch records one world switch of kind k.

@@ -1,0 +1,65 @@
+package pagetable
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// TestWalkZeroAlloc pins the allocation budget of the translation hot path:
+// a successful Walk over an already-mapped page must not allocate.
+func TestWalkZeroAlloc(t *testing.T) {
+	pt, err := New(mem.NewAllocator("a", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pages = 512
+	for i := 0; i < pages; i++ {
+		if _, err := pt.Map(arch.VA(i)<<arch.PageShift, arch.PFN(i), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, fault := pt.Walk(arch.VA(i%pages)<<arch.PageShift, true, true); fault != nil {
+			t.Fatal(fault)
+		}
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("Walk allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestTablePoolRecycles checks that destroying a page table feeds its frames
+// back to the pool: a fresh table built right after a Destroy must be usable
+// and see only zeroed frames (pooled frames are scrubbed on return).
+func TestTablePoolRecycles(t *testing.T) {
+	alloc := mem.NewAllocator("a", 0, 0)
+	pt, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if _, err := pt.Map(arch.VA(i)<<arch.PageShift, arch.PFN(i), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pt.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	pt2, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pt2.Lookup(0); ok {
+		t.Fatal("fresh table after Destroy sees stale mappings")
+	}
+	if _, err := pt2.Map(0, 7, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := pt2.Lookup(0); !ok || e.PFN != 7 {
+		t.Fatalf("recycled-frame table Lookup = %+v, %v; want PFN 7", e, ok)
+	}
+}

@@ -6,11 +6,13 @@
 // world switches need no TLB flush at all, whereas a traditional shadow-
 // paging hypervisor must flush the whole guest VPID on every guest-requested
 // flush (the cold-start penalty described in §3.3.2 of the paper).
+//
+// The LRU chain is an intrusive doubly-linked list threaded through a slice
+// of nodes preallocated at construction, so the steady-state hot path —
+// Lookup and Insert on a warm TLB — performs no heap allocation at all.
 package tlb
 
 import (
-	"container/list"
-
 	"repro/internal/arch"
 )
 
@@ -41,17 +43,25 @@ type Stats struct {
 	FlushedEnts int64 // entries removed by flushes
 }
 
+// none marks the end of an intrusive list chain.
+const none = int32(-1)
+
+// node is one slot of the preallocated entry store.
+type node struct {
+	key        Key
+	ent        Entry
+	prev, next int32
+}
+
 // TLB is a capacity-bounded, LRU-evicting, tagged TLB.
 type TLB struct {
 	capacity int
-	entries  map[Key]*list.Element
-	lru      *list.List // front = most recent; values are *node
+	entries  map[Key]int32
+	nodes    []node // all capacity slots, allocated once
+	head     int32  // most recently used, or none
+	tail     int32  // least recently used, or none
+	free     int32  // chain of unused slots through next
 	stats    Stats
-}
-
-type node struct {
-	key Key
-	ent Entry
 }
 
 // New creates a TLB holding up to capacity entries (capacity <= 0 panics).
@@ -59,59 +69,118 @@ func New(capacity int) *TLB {
 	if capacity <= 0 {
 		panic("tlb: capacity must be positive")
 	}
-	return &TLB{
+	t := &TLB{
 		capacity: capacity,
-		entries:  make(map[Key]*list.Element, capacity),
-		lru:      list.New(),
+		entries:  make(map[Key]int32, capacity),
+		nodes:    make([]node, capacity),
+		head:     none,
+		tail:     none,
+	}
+	for i := range t.nodes {
+		t.nodes[i].next = int32(i) + 1
+	}
+	t.nodes[capacity-1].next = none
+	t.free = 0
+	return t
+}
+
+// detach unlinks slot i from the LRU chain.
+func (t *TLB) detach(i int32) {
+	n := &t.nodes[i]
+	if n.prev != none {
+		t.nodes[n.prev].next = n.next
+	} else {
+		t.head = n.next
+	}
+	if n.next != none {
+		t.nodes[n.next].prev = n.prev
+	} else {
+		t.tail = n.prev
+	}
+}
+
+// pushFront links slot i at the most-recently-used end.
+func (t *TLB) pushFront(i int32) {
+	n := &t.nodes[i]
+	n.prev = none
+	n.next = t.head
+	if t.head != none {
+		t.nodes[t.head].prev = i
+	}
+	t.head = i
+	if t.tail == none {
+		t.tail = i
 	}
 }
 
 // Lookup searches for a cached translation. A write access misses on a
 // read-only cached entry (forcing a walk that sets the dirty bit), matching
-// hardware behaviour.
+// hardware behaviour. Zero-allocation.
 func (t *TLB) Lookup(vpid arch.VPID, pcid arch.PCID, va arch.VA, write bool) (Entry, bool) {
 	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
-	el, ok := t.entries[k]
+	i, ok := t.entries[k]
 	if !ok {
 		t.stats.Misses++
 		return Entry{}, false
 	}
-	n := el.Value.(*node)
-	if write && !n.ent.Write {
+	ent := t.nodes[i].ent
+	if write && !ent.Write {
 		t.stats.Misses++
 		return Entry{}, false
 	}
-	t.lru.MoveToFront(el)
+	if t.head != i {
+		t.detach(i)
+		t.pushFront(i)
+	}
 	t.stats.Hits++
-	return n.ent, true
+	return ent, true
 }
 
 // Insert caches a translation, evicting the least recently used entry when
-// full.
+// full. Steady-state (warm map) insertion does not allocate.
 func (t *TLB) Insert(vpid arch.VPID, pcid arch.PCID, va arch.VA, e Entry) {
 	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
-	if el, ok := t.entries[k]; ok {
-		el.Value.(*node).ent = e
-		t.lru.MoveToFront(el)
+	if i, ok := t.entries[k]; ok {
+		t.nodes[i].ent = e
+		if t.head != i {
+			t.detach(i)
+			t.pushFront(i)
+		}
 		return
 	}
-	if t.lru.Len() >= t.capacity {
-		back := t.lru.Back()
-		t.lru.Remove(back)
-		delete(t.entries, back.Value.(*node).key)
+	var i int32
+	if t.free != none {
+		i = t.free
+		t.free = t.nodes[i].next
+	} else {
+		// Full: reuse the least recently used slot.
+		i = t.tail
+		t.detach(i)
+		delete(t.entries, t.nodes[i].key)
 		t.stats.Evictions++
 	}
-	t.entries[k] = t.lru.PushFront(&node{key: k, ent: e})
+	t.nodes[i].key = k
+	t.nodes[i].ent = e
+	t.pushFront(i)
+	t.entries[k] = i
 	t.stats.Inserts++
+}
+
+// release returns slot i (already detached from the LRU chain) to the free
+// list and drops its map entry.
+func (t *TLB) release(i int32) {
+	delete(t.entries, t.nodes[i].key)
+	t.nodes[i].next = t.free
+	t.free = i
 }
 
 // FlushPage removes one page's translation (INVLPG / INVPCID single-address).
 func (t *TLB) FlushPage(vpid arch.VPID, pcid arch.PCID, va arch.VA) {
 	t.stats.FlushPage++
 	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
-	if el, ok := t.entries[k]; ok {
-		t.lru.Remove(el)
-		delete(t.entries, k)
+	if i, ok := t.entries[k]; ok {
+		t.detach(i)
+		t.release(i)
 		t.stats.FlushedEnts++
 	}
 }
@@ -140,22 +209,21 @@ func (t *TLB) FlushAll() int {
 
 func (t *TLB) flushWhere(pred func(Key, Entry) bool) int {
 	n := 0
-	for el := t.lru.Front(); el != nil; {
-		next := el.Next()
-		nd := el.Value.(*node)
-		if pred(nd.key, nd.ent) {
-			t.lru.Remove(el)
-			delete(t.entries, nd.key)
+	for i := t.head; i != none; {
+		next := t.nodes[i].next
+		if pred(t.nodes[i].key, t.nodes[i].ent) {
+			t.detach(i)
+			t.release(i)
 			n++
 		}
-		el = next
+		i = next
 	}
 	t.stats.FlushedEnts += int64(n)
 	return n
 }
 
 // Len returns the number of live entries.
-func (t *TLB) Len() int { return t.lru.Len() }
+func (t *TLB) Len() int { return len(t.entries) }
 
 // Stats returns a snapshot of the counters.
 func (t *TLB) Stats() Stats { return t.stats }

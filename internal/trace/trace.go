@@ -53,12 +53,13 @@ func (e Event) String() string {
 }
 
 // Buffer is a bounded ring of events. When full, the oldest events are
-// overwritten and counted as dropped.
+// overwritten and counted as dropped. All storage is allocated once at
+// construction; recording an event never allocates.
 type Buffer struct {
 	mu      sync.Mutex
-	ring    []Event
-	next    int
-	wrapped bool
+	ring    []Event // full capacity, allocated by NewBuffer
+	next    int     // slot the next event is written to
+	count   int     // live events, <= len(ring)
 	dropped int64
 }
 
@@ -68,21 +69,20 @@ func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		panic("trace: capacity must be positive")
 	}
-	return &Buffer{ring: make([]Event, 0, capacity)}
+	return &Buffer{ring: make([]Event, capacity)}
 }
 
 // Add records one event.
 func (b *Buffer) Add(ev Event) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if len(b.ring) < cap(b.ring) {
-		b.ring = append(b.ring, ev)
-		return
-	}
 	b.ring[b.next] = ev
-	b.next = (b.next + 1) % cap(b.ring)
-	b.wrapped = true
-	b.dropped++
+	b.next = (b.next + 1) % len(b.ring)
+	if b.count < len(b.ring) {
+		b.count++
+	} else {
+		b.dropped++
+	}
 }
 
 // Record is a convenience Add.
@@ -101,18 +101,18 @@ func (b *Buffer) Dropped() int64 {
 func (b *Buffer) Len() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return len(b.ring)
+	return b.count
 }
 
 // Events returns the retained events sorted by (virtual time, cpu).
 func (b *Buffer) Events() []Event {
 	b.mu.Lock()
-	out := make([]Event, len(b.ring))
-	if b.wrapped {
+	out := make([]Event, b.count)
+	if b.count == len(b.ring) {
 		n := copy(out, b.ring[b.next:])
 		copy(out[n:], b.ring[:b.next])
 	} else {
-		copy(out, b.ring)
+		copy(out, b.ring[:b.count])
 	}
 	b.mu.Unlock()
 	sort.SliceStable(out, func(i, j int) bool {

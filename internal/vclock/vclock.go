@@ -15,9 +15,14 @@
 // contention statistics; this is exactly the mechanism behind the paper's
 // Figure 10 scalability results.
 //
-// Wakeups are targeted: every state change signals only the vCPU that now
-// holds the minimum clock, so engine operations cost O(#vCPUs) comparisons
-// but wake at most one goroutine.
+// Runnable vCPUs are indexed by a binary min-heap keyed on (clock, id), so
+// admitting a vCPU, advancing a clock, and acquiring a lock all cost
+// O(log #vCPUs); the minimum is found in O(1). Wakeups are targeted: every
+// state change signals only the vCPU that now holds the minimum clock, so
+// each operation wakes at most one goroutine. The heap's key order is the
+// same (now, id) tie-break a linear min-scan would use, so schedules are
+// bit-identical to a reference O(n) implementation of the same discipline
+// (asserted by TestHeapMatchesLinearReference).
 package vclock
 
 import (
@@ -40,10 +45,20 @@ type Engine struct {
 
 	cpus []*CPU
 
+	// heap indexes the running vCPUs as a binary min-heap ordered by
+	// (now, id). heap[0] is always the vCPU allowed to act next.
+	heap []*CPU
+
 	// cores bounds simulated hardware parallelism. Compute advances are
 	// dilated when more vCPUs are runnable than cores. Zero means
 	// unlimited (no dilation).
 	cores int
+
+	// aborted is set when a workload panics; every parked vCPU is woken
+	// and unwound so Wait can drain the run instead of deadlocking on the
+	// min-clock gate.
+	aborted bool
+	err     error
 
 	wg sync.WaitGroup
 }
@@ -65,8 +80,18 @@ type CPU struct {
 	now int64
 	st  state
 
+	// hi is the index in Engine.heap, or -1 while not running.
+	hi int
+
 	waiting bool
 	wake    chan struct{}
+
+	// pendingLock, when non-nil, is a declared intent to acquire that lock
+	// as soon as this (parked) vCPU reaches the head of the heap. The vCPU
+	// that advances the clock past this one applies the intent inline
+	// (granting the lock or joining the waiter queue) without a park/wake
+	// round trip; see Engine.processRootLocked.
+	pendingLock *Lock
 
 	// lazy accumulates deferred charges (AdvanceLazy); owned by the
 	// driving goroutine, folded into now under e.mu at the next engine
@@ -77,6 +102,71 @@ type CPU struct {
 	Advanced int64
 }
 
+// cpuLess orders vCPUs by (clock, id) — the engine's scheduling priority.
+func cpuLess(a, b *CPU) bool {
+	return a.now < b.now || (a.now == b.now && a.id < b.id)
+}
+
+// heapPush admits c to the runnable index. Caller holds e.mu.
+func (e *Engine) heapPush(c *CPU) {
+	c.hi = len(e.heap)
+	e.heap = append(e.heap, c)
+	e.siftUp(c.hi)
+}
+
+// heapRemove evicts c from the runnable index. Caller holds e.mu.
+func (e *Engine) heapRemove(c *CPU) {
+	i := c.hi
+	last := len(e.heap) - 1
+	if i != last {
+		e.heap[i] = e.heap[last]
+		e.heap[i].hi = i
+	}
+	e.heap[last] = nil
+	e.heap = e.heap[:last]
+	c.hi = -1
+	if i != last {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !cpuLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		h[i].hi = i
+		h[parent].hi = parent
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && cpuLess(h[r], h[l]) {
+			m = r
+		}
+		if !cpuLess(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		h[i].hi = i
+		h[m].hi = m
+		i = m
+	}
+}
+
 // NewCPU registers a new vCPU starting at virtual time start.
 //
 // When called from a running vCPU's goroutine (e.g. to model fork), pass the
@@ -85,27 +175,79 @@ type CPU struct {
 func (e *Engine) NewCPU(start int64) *CPU {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	c := &CPU{id: len(e.cpus), e: e, now: start, st: running, wake: make(chan struct{}, 1)}
+	c := &CPU{id: len(e.cpus), e: e, now: start, st: running, hi: -1, wake: make(chan struct{}, 1)}
 	e.cpus = append(e.cpus, c)
-	e.signalMinLocked()
+	e.heapPush(c)
+	e.processRootLocked()
 	return c
 }
 
 // Go launches fn on its own goroutine driving a fresh vCPU that starts at
 // virtual time start. The vCPU is marked done when fn returns.
+//
+// A panic in fn does not crash the process: the engine records the panic as
+// an error (see Err), aborts the run, and unwinds every other vCPU so Wait
+// still returns instead of deadlocking on the min-clock gate.
 func (e *Engine) Go(start int64, fn func(c *CPU)) *CPU {
 	c := e.NewCPU(start)
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
-		defer c.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				if _, drain := r.(engineAbort); !drain {
+					e.abort(fmt.Errorf("vclock: vCPU %d panicked: %v", c.id, r))
+				}
+			}
+			c.Done()
+		}()
 		fn(c)
 	}()
 	return c
 }
 
-// Wait blocks until every vCPU launched with Go has finished.
+// Wait blocks until every vCPU launched with Go has finished (normally or by
+// unwinding after an abort). Check Err afterwards for a workload panic.
 func (e *Engine) Wait() { e.wg.Wait() }
+
+// Err returns the error recorded for the first workload panic that aborted
+// the run, or nil for a clean run.
+func (e *Engine) Err() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// engineAbort is the panic value used to unwind vCPU goroutines after a
+// workload panic aborted the run.
+type engineAbort struct{ err error }
+
+// abort records the first failure, then wakes every parked vCPU so each
+// unwinds via engineAbort at its next scheduling point.
+func (e *Engine) abort(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aborted {
+		e.aborted = true
+		e.err = err
+	}
+	for _, c := range e.cpus {
+		if c.waiting {
+			select {
+			case c.wake <- struct{}{}:
+			default:
+			}
+		}
+	}
+}
+
+// checkAbortLocked unwinds the calling vCPU when the run has been aborted.
+// Caller holds e.mu and must release it via defer (the panic propagates).
+func (e *Engine) checkAbortLocked() {
+	if e.aborted {
+		panic(engineAbort{e.err})
+	}
+}
 
 // Makespan returns the maximum clock across all vCPUs (the virtual duration
 // of the whole run). Call it after Wait; a vCPU's pending lazy charges are
@@ -123,65 +265,73 @@ func (e *Engine) Makespan() int64 {
 	return m
 }
 
-// runnable reports how many vCPUs currently count toward core occupancy.
-func (e *Engine) runnable() int {
-	n := 0
-	for _, c := range e.cpus {
-		if c.st == running {
-			n++
-		}
-	}
-	return n
-}
-
-// minRunningLocked returns the running vCPU with the smallest (now, id), or
-// nil if none is running.
-func (e *Engine) minRunningLocked() *CPU {
-	var m *CPU
-	for _, c := range e.cpus {
-		if c.st != running {
-			continue
-		}
-		if m == nil || c.now < m.now || (c.now == m.now && c.id < m.id) {
-			m = c
-		}
-	}
-	return m
-}
-
-// signalMinLocked wakes the vCPU currently holding the minimum clock, if it
-// is parked. Caller holds e.mu.
-func (e *Engine) signalMinLocked() {
-	if m := e.minRunningLocked(); m != nil && m.waiting {
+// wakeLocked delivers a (buffered, lossy) wakeup token to c. Caller holds
+// e.mu.
+func (e *Engine) wakeLocked(c *CPU) {
+	if c.waiting {
 		select {
-		case m.wake <- struct{}{}:
+		case c.wake <- struct{}{}:
 		default:
 		}
 	}
 }
 
+// processRootLocked drives the schedule forward after any change to the
+// runnable heap. It examines the vCPU at the heap root: a parked root that
+// declared a lock intent is serviced inline — the lock is granted or the
+// vCPU moves to the waiter queue at exactly the virtual instant it would
+// have acted itself — which may promote a new root, so the loop cascades.
+// A root without an intent is woken if parked. Servicing intents inline
+// saves a park/wake round trip per contended acquisition: the acquirer
+// parks once and wakes only when it actually owns the lock. Caller holds
+// e.mu.
+func (e *Engine) processRootLocked() {
+	if e.aborted {
+		return
+	}
+	for len(e.heap) > 0 {
+		r := e.heap[0]
+		l := r.pendingLock
+		if l == nil {
+			e.wakeLocked(r)
+			return
+		}
+		if l.held {
+			// Join the waiter queue at the vCPU's virtual slot. No wakeup:
+			// Release delivers one at handoff.
+			r.pendingLock = nil
+			r.st = lockWait
+			e.heapRemove(r)
+			l.waiters = append(l.waiters, r)
+			continue
+		}
+		// Grant the free lock at the vCPU's virtual slot.
+		r.pendingLock = nil
+		if l.freeAt > r.now {
+			l.contended++
+			l.waitTime += l.freeAt - r.now
+			r.now = l.freeAt
+			e.siftDown(r.hi)
+		}
+		l.held = true
+		l.holder = r
+		l.lastAcquire = r.now
+		l.acquisitions++
+		e.wakeLocked(r)
+		// The boost may have demoted r; keep cascading for the new root.
+	}
+}
+
 // sleepLocked parks the calling vCPU until signalled. Caller holds e.mu;
-// the lock is held again on return.
+// the lock is held again on return. Unwinds (with e.mu held, released by the
+// caller's deferred unlock) when the run has been aborted.
 func (e *Engine) sleepLocked(c *CPU) {
 	c.waiting = true
 	e.mu.Unlock()
 	<-c.wake
 	e.mu.Lock()
 	c.waiting = false
-}
-
-// isMinLocked reports whether c holds the global minimum (now, id) among
-// running vCPUs. Caller holds e.mu.
-func (e *Engine) isMinLocked(c *CPU) bool {
-	for _, o := range e.cpus {
-		if o == c || o.st != running {
-			continue
-		}
-		if o.now < c.now || (o.now == c.now && o.id < c.id) {
-			return false
-		}
-	}
-	return true
+	e.checkAbortLocked()
 }
 
 // gateLocked blocks until c holds the global minimum clock. Caller holds
@@ -191,20 +341,29 @@ func (e *Engine) isMinLocked(c *CPU) bool {
 // changed the ordering (e.g. by folding lazy charges into its clock) without
 // any other notification reaching the vCPU that now holds the minimum.
 func (e *Engine) gateLocked(c *CPU) {
-	for !e.isMinLocked(c) {
-		e.signalMinLocked()
+	for e.heap[0] != c {
+		e.processRootLocked()
+		if e.heap[0] == c {
+			// Servicing parked intents promoted us to the root; do not
+			// park — nobody is left to wake us.
+			return
+		}
 		e.sleepLocked(c)
 	}
 }
 
-// flushLazyLocked folds deferred charges into the clock. The deferred work
-// happened strictly before any interaction with shared state, so applying it
-// before gating preserves causal order. Caller holds e.mu.
+// flushLazyLocked folds deferred charges into the clock, repositioning the
+// vCPU in the runnable heap. The deferred work happened strictly before any
+// interaction with shared state, so applying it before gating preserves
+// causal order. Caller holds e.mu.
 func (c *CPU) flushLazyLocked() {
 	if c.lazy != 0 {
 		c.now += c.lazy
 		c.Advanced += c.lazy
 		c.lazy = 0
+		if c.hi >= 0 {
+			c.e.siftDown(c.hi)
+		}
 	}
 }
 
@@ -232,18 +391,26 @@ func (c *CPU) AdvanceLazy(d int64) {
 // Advance charges d nanoseconds of virtual latency (hardware transition,
 // device service time, …). Latency advances are never dilated by core
 // oversubscription.
+//
+// Advance gates on the min-clock before committing the charge: workload code
+// between engine operations therefore runs only in its vCPU's virtual-time
+// slot, which is what lets backend code mutate shared simulator state
+// (allocators, page-table maps) without Go-level synchronization. Gating only
+// at Acquire/Sync would let that code race in real time.
 func (c *CPU) Advance(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %d", d))
 	}
 	e := c.e
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.checkAbortLocked()
 	c.flushLazyLocked()
 	e.gateLocked(c)
 	c.now += d
 	c.Advanced += d
-	e.signalMinLocked()
-	e.mu.Unlock()
+	e.siftDown(c.hi)
+	e.processRootLocked()
 }
 
 // Compute charges d nanoseconds of CPU-bound work. When more vCPUs are
@@ -255,17 +422,19 @@ func (c *CPU) Compute(d int64) {
 	}
 	e := c.e
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.checkAbortLocked()
 	c.flushLazyLocked()
 	e.gateLocked(c)
 	if e.cores > 0 {
-		if r := e.runnable(); r > e.cores {
+		if r := len(e.heap); r > e.cores {
 			d = d * int64(r) / int64(e.cores)
 		}
 	}
 	c.now += d
 	c.Advanced += d
-	e.signalMinLocked()
-	e.mu.Unlock()
+	e.siftDown(c.hi)
+	e.processRootLocked()
 }
 
 // Sync blocks until the vCPU holds the minimum clock without advancing it.
@@ -275,20 +444,25 @@ func (c *CPU) Compute(d int64) {
 func (c *CPU) Sync() {
 	e := c.e
 	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.checkAbortLocked()
 	c.flushLazyLocked()
 	e.gateLocked(c)
-	e.signalMinLocked()
-	e.mu.Unlock()
+	e.processRootLocked()
 }
 
-// Done removes the vCPU from scheduling. Idempotent.
+// Done removes the vCPU from scheduling. Idempotent. Safe to call while the
+// engine is draining an aborted run.
 func (c *CPU) Done() {
 	e := c.e
 	e.mu.Lock()
+	defer e.mu.Unlock()
 	c.flushLazyLocked()
+	if c.hi >= 0 {
+		e.heapRemove(c)
+	}
 	c.st = done
-	e.signalMinLocked()
-	e.mu.Unlock()
+	e.processRootLocked()
 }
 
 // Lock is a virtual mutex. Contention is charged in virtual time: a vCPU
@@ -349,44 +523,69 @@ func (l *Lock) Stats() LockStats {
 
 // Acquire takes the lock on behalf of c, advancing c's clock past any
 // contention. Recursive acquisition panics.
+//
+// When c does not yet hold the minimum clock, Acquire does not park at the
+// min-clock gate and then park a second time on the waiter queue: it records
+// the intent on the vCPU and parks once. The vCPU that advances the clock
+// past c's slot applies the intent inline (see processRootLocked) at exactly
+// the virtual instant c would have acted, and c wakes only when it owns the
+// lock.
 func (l *Lock) Acquire(c *CPU) {
 	e := l.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.checkAbortLocked()
+	if l.held && l.holder == c {
+		panic("vclock: recursive acquisition of " + l.name)
+	}
 	c.flushLazyLocked()
-	e.gateLocked(c)
-	if l.held {
-		if l.holder == c {
-			panic("vclock: recursive acquisition of " + l.name)
+	if e.heap[0] == c {
+		// Already at our virtual slot: decide inline.
+		if l.held {
+			// Park until a release hands the lock to us.
+			c.st = lockWait
+			e.heapRemove(c)
+			l.waiters = append(l.waiters, c)
+			e.processRootLocked()
+			for l.holder != c {
+				e.sleepLocked(c)
+			}
+			// Handoff complete: Release already updated our clock and the
+			// lock bookkeeping.
+			return
 		}
-		// Park until a release hands the lock to us.
-		c.st = lockWait
-		l.waiters = append(l.waiters, c)
-		e.signalMinLocked()
-		for l.holder != c {
-			e.sleepLocked(c)
+		if l.freeAt > c.now {
+			// Cannot happen under conservative ordering (the releaser held
+			// the minimum clock), but stay safe.
+			l.contended++
+			l.waitTime += l.freeAt - c.now
+			c.now = l.freeAt
+			e.siftDown(c.hi)
 		}
-		// Handoff complete: Release already updated our clock and the
-		// lock bookkeeping.
+		l.held = true
+		l.holder = c
+		l.lastAcquire = c.now
+		l.acquisitions++
+		e.processRootLocked()
 		return
 	}
-	if l.freeAt > c.now {
-		// Cannot happen under conservative ordering (the releaser held
-		// the minimum clock), but stay safe.
-		l.contended++
-		l.waitTime += l.freeAt - c.now
-		c.now = l.freeAt
+	// Not at our slot yet: declare the intent and park until the handoff
+	// (or inline grant) makes us the holder.
+	c.pendingLock = l
+	e.processRootLocked()
+	for l.holder != c {
+		e.sleepLocked(c)
 	}
-	l.held = true
-	l.holder = c
-	l.lastAcquire = c.now
-	l.acquisitions++
-	e.signalMinLocked()
 }
 
 // Release drops the lock, recording held time, and deterministically hands it
 // to the waiting vCPU with the smallest (clock, id), if any. The recipient's
 // clock is advanced to the release time, charging the wait as contention.
+//
+// Release gates on the min-clock: every vCPU whose clock is behind the
+// release time has either advanced past it or joined the waiter queue by the
+// time the handoff is decided, so the queue contents — and therefore the
+// handoff order — are a pure function of virtual time.
 func (l *Lock) Release(c *CPU) {
 	e := l.e
 	e.mu.Lock()
@@ -395,19 +594,19 @@ func (l *Lock) Release(c *CPU) {
 		panic("vclock: release of " + l.name + " by non-holder")
 	}
 	c.flushLazyLocked()
+	e.gateLocked(c)
 	l.heldTime += c.now - l.lastAcquire
 	l.freeAt = c.now
 	if len(l.waiters) == 0 {
 		l.held = false
 		l.holder = nil
-		e.signalMinLocked()
+		e.processRootLocked()
 		return
 	}
 	// Deterministic handoff: smallest (now, id) waiter wins.
 	best := 0
 	for i, w := range l.waiters[1:] {
-		if w.now < l.waiters[best].now ||
-			(w.now == l.waiters[best].now && w.id < l.waiters[best].id) {
+		if cpuLess(w, l.waiters[best]) {
 			best = i + 1
 		}
 	}
@@ -422,6 +621,7 @@ func (l *Lock) Release(c *CPU) {
 	l.lastAcquire = w.now
 	l.acquisitions++
 	w.st = running
+	e.heapPush(w)
 	// Wake the recipient directly; it may not be the global minimum yet,
 	// but it must observe the handoff and re-park in gateLocked order on
 	// its next operation. It is safe for it to run: its critical section
@@ -432,7 +632,7 @@ func (l *Lock) Release(c *CPU) {
 		default:
 		}
 	}
-	e.signalMinLocked()
+	e.processRootLocked()
 }
 
 // With runs fn while holding the lock, charging hold nanoseconds of work
