@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench artifacts
+.PHONY: all build test check bench microbench artifacts
 
 all: build
 
@@ -18,7 +18,14 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/vclock/... ./internal/experiments/...
 
+# bench regenerates BENCH_pr2.json: the TouchRange ranged-vs-per-page
+# before/after grid across all five MMU backends plus the serial
+# default-grid wall clock (compared against BENCH_pr1.json's baseline).
 bench:
+	$(GO) run ./cmd/benchreport -out BENCH_pr2.json
+
+# microbench runs the low-level hot-path benchmarks of the simulator core.
+microbench:
 	$(GO) test -bench . -benchmem ./internal/vclock/ ./internal/tlb/ ./internal/pagetable/
 
 # artifacts regenerates the captured default-scale experiment output.

@@ -110,6 +110,116 @@ func BenchmarkSyscallKVMEPT(b *testing.B)      { benchSyscall(b, KVMEPTBareMetal
 func BenchmarkSyscallPVMDirect(b *testing.B)   { benchSyscall(b, PVMNested, true) }
 func BenchmarkSyscallPVMFullExit(b *testing.B) { benchSyscall(b, PVMNested, false) }
 
+// Ranged-access benchmarks: ns/op is the simulator's cost per *page*
+// touched. Resident sweeps a working set that fits the TLB (the run-length
+// fast path resolves it in whole-range hit runs); Faulting repeatedly maps,
+// touches, and unmaps so every page replays the full miss choreography. The
+// PerPage variants drive the same sweeps through the per-page reference
+// path (TouchRangeByPage); BENCH_pr2.json pairs them.
+
+// touchRangeConfigs names the five MMU strategies: the sixth façade config
+// (PVMBareMetal/SPTOnEPTNested) shares its strategy with a listed one, and
+// PVMDirect selects the direct-paging MMU via Options.
+var touchRangeConfigs = []struct {
+	name   string
+	cfg    Config
+	direct bool
+}{
+	{"KVMEPTBareMetal", KVMEPTBareMetal, false},
+	{"KVMSPTBareMetal", KVMSPTBareMetal, false},
+	{"KVMEPTNested", KVMEPTNested, false},
+	{"PVMNested", PVMNested, false},
+	{"PVMDirect", PVMNested, true},
+}
+
+// residentPages fits comfortably inside the default 1536-entry TLB so the
+// steady state is all hits.
+const residentPages = 1024
+
+func benchTouchRangeResident(b *testing.B, cfg Config, direct, perPage bool) {
+	opt := DefaultOptions()
+	opt.DirectPaging = direct
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(0, 4, func(p *Process) {
+		base := p.Mmap(residentPages)
+		p.TouchRange(base, residentPages, true) // populate
+		for i := 0; i < n; i += residentPages {
+			sweep := residentPages
+			if left := n - i; left < sweep {
+				sweep = left
+			}
+			if perPage {
+				p.TouchRangeByPage(base, sweep, false)
+			} else {
+				p.TouchRange(base, sweep, false)
+			}
+		}
+	})
+	sys.Eng.Wait()
+}
+
+func benchTouchRangeFaulting(b *testing.B, cfg Config, direct, perPage bool) {
+	opt := DefaultOptions()
+	opt.DirectPaging = direct
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(0, 4, func(p *Process) {
+		for i := 0; i < n; i += residentPages {
+			sweep := residentPages
+			if left := n - i; left < sweep {
+				sweep = left
+			}
+			base := p.Mmap(sweep)
+			if perPage {
+				p.TouchRangeByPage(base, sweep, true)
+			} else {
+				p.TouchRange(base, sweep, true)
+			}
+			if err := p.Munmap(base, sweep); err != nil {
+				panic(err)
+			}
+		}
+	})
+	sys.Eng.Wait()
+}
+
+func BenchmarkTouchRangeResident(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchTouchRangeResident(b, c.cfg, c.direct, false) })
+	}
+}
+
+func BenchmarkTouchRangeResidentPerPage(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchTouchRangeResident(b, c.cfg, c.direct, true) })
+	}
+}
+
+func BenchmarkTouchRangeFaulting(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchTouchRangeFaulting(b, c.cfg, c.direct, false) })
+	}
+}
+
+func BenchmarkTouchRangeFaultingPerPage(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchTouchRangeFaulting(b, c.cfg, c.direct, true) })
+	}
+}
+
 // BenchmarkConcurrentMembench measures simulator throughput under the
 // contended 16-process Figure 10 workload.
 func BenchmarkConcurrentMembench(b *testing.B) {

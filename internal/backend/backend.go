@@ -280,6 +280,7 @@ type mmuStrategy interface {
 	register(p *guest.Process)
 	unregister(p *guest.Process)
 	access(p *guest.Process, va arch.VA, write bool)
+	accessRange(p *guest.Process, va arch.VA, pages int, write bool)
 	releasePage(p *guest.Process, va arch.VA, gpa arch.PFN)
 	flushRange(p *guest.Process, pages int)
 }
@@ -415,6 +416,18 @@ func (g *Guest) FlushRange(p *guest.Process, pages int) {
 // Access implements guest.Platform.
 func (g *Guest) Access(p *guest.Process, va arch.VA, write bool) {
 	g.mmu.access(p, va, write)
+}
+
+// AccessRange implements guest.Platform: it resolves the pages of
+// [va, va+pages·4K) in maximal same-outcome runs — one TLB probe per page
+// (batched by LookupRange), one lazy advance per hit run, and the ordinary
+// per-page miss choreography at each run boundary. Observationally it is
+// identical to pages sequential Access calls.
+func (g *Guest) AccessRange(p *guest.Process, va arch.VA, pages int, write bool) {
+	if pages <= 0 {
+		return
+	}
+	g.mmu.accessRange(p, va, pages, write)
 }
 
 // ReleasePage implements guest.Platform.

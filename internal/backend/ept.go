@@ -36,7 +36,6 @@ func (m *eptMMU) unregister(p *guest.Process) {
 func (m *eptMMU) access(p *guest.Process, va arch.VA, write bool) {
 	g := m.g
 	c := p.CPU
-	prm := g.Sys.Prm
 	d := pd(p)
 	va = va.PageDown()
 
@@ -44,8 +43,45 @@ func (m *eptMMU) access(p *guest.Process, va arch.VA, write bool) {
 		c.AdvanceLazy(1)
 		return
 	}
+	r := p.GPT.NewReader()
+	m.resolve(p, d, va, write, &r)
+}
 
-	e, _, fault := p.GPT.Walk(va, write, true)
+func (m *eptMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool) {
+	g := m.g
+	c := p.CPU
+	d := pd(p)
+	va = va.PageDown()
+
+	r := p.GPT.NewReader()
+	for i := 0; i < pages; {
+		cur := va + arch.VA(i)<<arch.PageShift
+		// Resolve the maximal run of TLB hits in one step: per-page
+		// probe semantics live inside LookupRange, and the n pages'
+		// unit costs are charged as a single lazy advance.
+		if n := d.tlb.LookupRange(g.VPID, d.pcidUser, cur, pages-i, write); n > 0 {
+			c.AdvanceLazy(int64(n))
+			i += n
+			if i == pages {
+				return
+			}
+			cur = va + arch.VA(i)<<arch.PageShift
+		}
+		// Run boundary: the probe for cur missed (accounted inside
+		// LookupRange); fall back to the per-page miss path.
+		m.resolve(p, d, cur, write, &r)
+		i++
+	}
+}
+
+// resolve handles one page whose TLB probe missed: guest walk (with
+// guest-internal fault handling), EPT01 backing, and the TLB refill.
+func (m *eptMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
+
+	e, _, fault := r.Walk(va, write, true)
 	if fault != nil {
 		// Guest-internal #PF: delivered through the guest IDT without
 		// any VM exit — the defining advantage of hardware-assisted
@@ -57,7 +93,7 @@ func (m *eptMMU) access(p *guest.Process, va arch.VA, write bool) {
 			panic(fmt.Sprintf("backend/ept: %v", err))
 		}
 		var f2 *pagetable.Fault
-		e, _, f2 = p.GPT.Walk(va, write, true)
+		e, _, f2 = r.Walk(va, write, true)
 		if f2 != nil {
 			panic(fmt.Sprintf("backend/ept: fault persists after handling: %v", f2))
 		}

@@ -2,7 +2,6 @@ package backend
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/guest"
@@ -43,8 +42,8 @@ type eptNestedMMU struct {
 	// asynchronous free-page-reporting zaps.
 	suppress bool
 
-	mu      sync.Mutex
-	backing map[arch.PFN]arch.PFN // l2gpa → l1gpa
+	// backing maps l2gpa → l1gpa.
+	backing *frameMap
 }
 
 func newEPTNestedMMU(g *Guest) *eptNestedMMU {
@@ -53,7 +52,7 @@ func newEPTNestedMMU(g *Guest) *eptNestedMMU {
 		ept12:   newShadowPT(g.Sys.L1.GPA),
 		ept02:   newShadowPT(g.Sys.Host.HPA),
 		l1Lock:  g.Sys.Eng.NewLock("l1-mmu:" + g.Name),
-		backing: map[arch.PFN]arch.PFN{},
+		backing: newFrameMap(),
 	}
 	// EPT12 is read-only to L1: every store traps to L0, which emulates
 	// it and updates its shadow structures under the L0 mmu_lock
@@ -101,7 +100,6 @@ func (m *eptNestedMMU) unregister(p *guest.Process) {
 func (m *eptNestedMMU) access(p *guest.Process, va arch.VA, write bool) {
 	g := m.g
 	c := p.CPU
-	prm := g.Sys.Prm
 	d := pd(p)
 	va = va.PageDown()
 
@@ -109,8 +107,40 @@ func (m *eptNestedMMU) access(p *guest.Process, va arch.VA, write bool) {
 		c.AdvanceLazy(1)
 		return
 	}
+	r := p.GPT.NewReader()
+	m.resolve(p, d, va, write, &r)
+}
 
-	e, _, fault := p.GPT.Walk(va, write, true)
+func (m *eptNestedMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool) {
+	g := m.g
+	c := p.CPU
+	d := pd(p)
+	va = va.PageDown()
+
+	r := p.GPT.NewReader()
+	for i := 0; i < pages; {
+		cur := va + arch.VA(i)<<arch.PageShift
+		if n := d.tlb.LookupRange(g.VPID, d.pcidUser, cur, pages-i, write); n > 0 {
+			c.AdvanceLazy(int64(n))
+			i += n
+			if i == pages {
+				return
+			}
+			cur = va + arch.VA(i)<<arch.PageShift
+		}
+		m.resolve(p, d, cur, write, &r)
+		i++
+	}
+}
+
+// resolve handles one page whose TLB probe missed: guest walk (with
+// guest-internal fault handling), EPT02 residency check, and TLB refill.
+func (m *eptNestedMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
+
+	e, _, fault := r.Walk(va, write, true)
 	if fault != nil {
 		// Guest-internal #PF: no exits (Figure 3b steps 1–3).
 		g.Sys.Ctr.GuestFaults.Add(1)
@@ -120,7 +150,7 @@ func (m *eptNestedMMU) access(p *guest.Process, va arch.VA, write bool) {
 			panic(fmt.Sprintf("backend/eptnested: %v", err))
 		}
 		var f2 *pagetable.Fault
-		e, _, f2 = p.GPT.Walk(va, write, true)
+		e, _, f2 = r.Walk(va, write, true)
 		if f2 != nil {
 			panic(fmt.Sprintf("backend/eptnested: fault persists: %v", f2))
 		}
@@ -154,7 +184,7 @@ func (m *eptNestedMMU) ept02Violation(p *guest.Process, gpa arch.PFN) {
 	var l1gpa arch.PFN
 	m.l1Lock.With(c, 0, func() {
 		var alloced bool
-		l1gpa, alloced = m.backingFrame(gpa)
+		l1gpa, alloced = m.backing.getOrAlloc(gpa, g.Sys.L1.GPA.MustAlloc)
 		hold := prm.EPTFix
 		if alloced {
 			hold += prm.FrameAlloc
@@ -188,17 +218,6 @@ func (m *eptNestedMMU) ept02Violation(p *guest.Process, gpa arch.PFN) {
 	g.entryHW(c)
 }
 
-func (m *eptNestedMMU) backingFrame(gpa arch.PFN) (arch.PFN, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t, ok := m.backing[gpa]; ok {
-		return t, false
-	}
-	t := m.g.Sys.L1.GPA.MustAlloc()
-	m.backing[gpa] = t
-	return t, true
-}
-
 // releasePage propagates a guest frame release down the stack (free page
 // reporting): EPT12 and EPT02 entries are zapped by asynchronous workers
 // (brief critical sections, no exits) and the L1 frame is returned — so the
@@ -210,12 +229,7 @@ func (m *eptNestedMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 	prm := g.Sys.Prm
 	d.tlb.FlushPage(g.VPID, d.pcidUser, va)
 
-	m.mu.Lock()
-	l1gpa, ok := m.backing[gpa]
-	if ok {
-		delete(m.backing, gpa)
-	}
-	m.mu.Unlock()
+	l1gpa, ok := m.backing.remove(gpa)
 	if !ok {
 		return
 	}

@@ -1,0 +1,232 @@
+package backend
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/guest"
+	"repro/internal/metrics"
+	"repro/internal/trace"
+	"repro/internal/vclock"
+)
+
+// The ranged access fast path (Guest.AccessRange) must be observationally
+// identical to the per-page loop it replaces: same final virtual clock, same
+// metrics snapshot, same trace-event counts. These tests run every backend ×
+// workload cell both ways and diff the complete observable state.
+
+// touchFn abstracts over TouchRange (batched) and TouchRangeByPage
+// (per-page reference).
+type touchFn func(p *guest.Process, va arch.VA, pages int, write bool)
+
+func touchRanged(p *guest.Process, va arch.VA, pages int, write bool) {
+	p.TouchRange(va, pages, write)
+}
+
+func touchByPage(p *guest.Process, va arch.VA, pages int, write bool) {
+	p.TouchRangeByPage(va, pages, write)
+}
+
+// equivWorkloads are single-process workloads exercising the access paths
+// that differ across backends: faulting, resident re-touch with TLB
+// evictions (stream is larger than the 1536-entry TLB), COW breaks,
+// protection faults, and munmap/refault cycles.
+var equivWorkloads = []struct {
+	name string
+	body func(p *guest.Process, touch touchFn)
+}{
+	{"stream", func(p *guest.Process, touch touchFn) {
+		// Larger than the TLB: the read passes exercise hit runs
+		// broken by capacity evictions.
+		const n = 2000
+		base := p.Mmap(n)
+		touch(p, base, n, true)
+		touch(p, base, n, false)
+		touch(p, base, n, false)
+	}},
+	{"fork-cow", func(p *guest.Process, touch touchFn) {
+		const n = 64
+		base := p.Mmap(n)
+		touch(p, base, n, true)
+		child, err := p.Fork(nil)
+		if err != nil {
+			panic(err)
+		}
+		touch(child, base, n, true) // COW breaks
+		if err := child.Exit(); err != nil {
+			panic(err)
+		}
+		touch(p, base, n, true) // parent re-protect faults
+	}},
+	{"mprotect", func(p *guest.Process, touch touchFn) {
+		const n = 128
+		base := p.Mmap(n)
+		touch(p, base, n, true)
+		if err := p.Mprotect(base, n, false); err != nil {
+			panic(err)
+		}
+		touch(p, base, n, false)
+		if err := p.Mprotect(base, n, true); err != nil {
+			panic(err)
+		}
+		touch(p, base, n, true) // write-protection fixes
+	}},
+	{"mixed", func(p *guest.Process, touch touchFn) {
+		for round := 0; round < 4; round++ {
+			base := p.Mmap(96)
+			touch(p, base, 96, true)
+			p.Syscall(500)
+			touch(p, base, 96, false)
+			if err := p.Munmap(base, 96); err != nil {
+				panic(err)
+			}
+		}
+	}},
+}
+
+// observation is the complete observable outcome of a run.
+type observation struct {
+	makespan int64
+	elapsed  int64 // the workload vCPU's final clock
+	ctr      metrics.Snapshot
+	events   int
+	dropped  int64
+	kinds    map[trace.Kind]int
+}
+
+func observe(t *testing.T, cfg Config, opt Options, body func(p *guest.Process, touch touchFn), touch touchFn) observation {
+	t.Helper()
+	opt.TraceEvents = 1 << 15
+	s := NewSystem(cfg, opt)
+	g, err := s.NewGuest("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var elapsed int64
+	s.Eng.Go(0, func(c *vclock.CPU) {
+		p, err := g.Kern.StartProcess(c, 8)
+		if err != nil {
+			panic(err)
+		}
+		body(p, touch)
+		elapsed = c.Now()
+	})
+	s.Eng.Wait()
+	return observation{
+		makespan: s.Eng.Makespan(),
+		elapsed:  elapsed,
+		ctr:      s.Ctr.Snapshot(),
+		events:   s.Tracer.Len(),
+		dropped:  s.Tracer.Dropped(),
+		kinds:    s.Tracer.CountByKind(),
+	}
+}
+
+func diffObservations(t *testing.T, cell string, ranged, byPage observation) {
+	t.Helper()
+	if ranged.makespan != byPage.makespan || ranged.elapsed != byPage.elapsed {
+		t.Errorf("%s: vclock diverged: ranged (makespan %d, elapsed %d) vs per-page (makespan %d, elapsed %d)",
+			cell, ranged.makespan, ranged.elapsed, byPage.makespan, byPage.elapsed)
+	}
+	if !reflect.DeepEqual(ranged.ctr, byPage.ctr) {
+		t.Errorf("%s: metrics diverged:\nranged:   %+v\nper-page: %+v", cell, ranged.ctr, byPage.ctr)
+	}
+	if ranged.events != byPage.events || ranged.dropped != byPage.dropped ||
+		!reflect.DeepEqual(ranged.kinds, byPage.kinds) {
+		t.Errorf("%s: traces diverged: ranged %d events (%d dropped) %v vs per-page %d events (%d dropped) %v",
+			cell, ranged.events, ranged.dropped, ranged.kinds, byPage.events, byPage.dropped, byPage.kinds)
+	}
+}
+
+// TestRangedAccessEquivalence runs every config × workload cell with the
+// batched and per-page touch paths and requires bit-identical outcomes.
+func TestRangedAccessEquivalence(t *testing.T) {
+	for _, cfg := range Configs() {
+		for _, wl := range equivWorkloads {
+			cell := fmt.Sprintf("%v/%s", cfg, wl.name)
+			t.Run(cell, func(t *testing.T) {
+				ranged := observe(t, cfg, DefaultOptions(), wl.body, touchRanged)
+				byPage := observe(t, cfg, DefaultOptions(), wl.body, touchByPage)
+				diffObservations(t, cell, ranged, byPage)
+			})
+		}
+	}
+}
+
+// TestRangedAccessEquivalenceAblations covers the option variants that pick
+// different MMU strategies or fault choreographies: direct paging (the fifth
+// MMU), prefault off, PCID mapping off, collaborative sync, switcher fault
+// classification, coarse locking.
+func TestRangedAccessEquivalenceAblations(t *testing.T) {
+	mk := func(mut func(o *Options)) Options {
+		o := DefaultOptions()
+		mut(&o)
+		return o
+	}
+	variants := []struct {
+		name string
+		cfg  Config
+		opt  Options
+	}{
+		{"pvm-direct-bm", PVMBM, mk(func(o *Options) { o.DirectPaging = true })},
+		{"pvm-direct-nst", PVMNST, mk(func(o *Options) { o.DirectPaging = true })},
+		{"no-prefault", PVMNST, mk(func(o *Options) { o.Prefault = false })},
+		{"no-pcidmap", PVMNST, mk(func(o *Options) { o.PCIDMap = false })},
+		{"collab-sync", PVMNST, mk(func(o *Options) { o.CollaborativeSync = true })},
+		{"switcher-classify", PVMNST, mk(func(o *Options) { o.SwitcherFaultClassify = true })},
+		{"coarse-lock", PVMNST, mk(func(o *Options) { o.FineLock = false })},
+		{"no-kpti", KVMSPTBM, mk(func(o *Options) { o.KPTI = false })},
+	}
+	for _, v := range variants {
+		for _, wl := range equivWorkloads {
+			cell := fmt.Sprintf("%s/%s", v.name, wl.name)
+			t.Run(cell, func(t *testing.T) {
+				ranged := observe(t, v.cfg, v.opt, wl.body, touchRanged)
+				byPage := observe(t, v.cfg, v.opt, wl.body, touchByPage)
+				diffObservations(t, cell, ranged, byPage)
+			})
+		}
+	}
+}
+
+// TestRangedAccessEquivalenceMultiProc checks the batched path under
+// concurrent vCPUs, where lock hold times and shootdowns couple the clocks:
+// any divergence in one vCPU's charging would shift the global makespan.
+func TestRangedAccessEquivalenceMultiProc(t *testing.T) {
+	run := func(cfg Config, touch touchFn) observation {
+		opt := DefaultOptions()
+		opt.TraceEvents = 1 << 15
+		s := NewSystem(cfg, opt)
+		g, err := s.NewGuest("g0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			g.Run(0, 8, func(p *guest.Process) {
+				for round := 0; round < 3; round++ {
+					base := p.Mmap(128)
+					touch(p, base, 128, true)
+					touch(p, base, 128, false)
+					if err := p.Munmap(base, 128); err != nil {
+						panic(err)
+					}
+				}
+			})
+		}
+		s.Eng.Wait()
+		return observation{
+			makespan: s.Eng.Makespan(),
+			ctr:      s.Ctr.Snapshot(),
+			events:   s.Tracer.Len(),
+			dropped:  s.Tracer.Dropped(),
+			kinds:    s.Tracer.CountByKind(),
+		}
+	}
+	for _, cfg := range Configs() {
+		t.Run(cfg.String(), func(t *testing.T) {
+			diffObservations(t, cfg.String(), run(cfg, touchRanged), run(cfg, touchByPage))
+		})
+	}
+}

@@ -2,7 +2,6 @@ package backend
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -30,8 +29,7 @@ type pvmMMU struct {
 
 	// backing maps L2 guest-physical frames to host-physical (BM) or L1
 	// guest-physical (NST) frames.
-	mu      sync.Mutex
-	backing map[arch.PFN]arch.PFN
+	backing *frameMap
 }
 
 func newPVMMMU(g *Guest, nested bool) *pvmMMU {
@@ -43,7 +41,7 @@ func newPVMMMU(g *Guest, nested bool) *pvmMMU {
 		g:       g,
 		nested:  nested,
 		locks:   core.NewLockSet(g.Sys.Eng, g.Name, mode),
-		backing: map[arch.PFN]arch.PFN{},
+		backing: newFrameMap(),
 	}
 	m.sw = core.NewSwitcher(m.tableAlloc())
 	return m
@@ -88,7 +86,7 @@ func (m *pvmMMU) unregister(p *guest.Process) {
 	p.GPT.OnWrite = nil
 	d := pd(p)
 	prm := m.g.Sys.Prm
-	hold := prm.PVMSPTFix + int64(d.shadow.MappedLeaves())*20
+	hold := prm.PVMSPTFix + int64(d.shadow.MappedLeaves())*prm.SPTZapLeaf
 	lock := m.locks.Coarse
 	if m.locks.Mode == core.FineLock {
 		lock = m.locks.Meta
@@ -163,7 +161,6 @@ func (m *pvmMMU) onGPTWrite(p *guest.Process, ev pagetable.WriteEvent) {
 func (m *pvmMMU) access(p *guest.Process, va arch.VA, write bool) {
 	g := m.g
 	c := p.CPU
-	prm := g.Sys.Prm
 	d := pd(p)
 	va = va.PageDown()
 
@@ -171,10 +168,48 @@ func (m *pvmMMU) access(p *guest.Process, va arch.VA, write bool) {
 		c.AdvanceLazy(1)
 		return
 	}
-	if e, ok := d.shadow.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
-		m.refill(c, d, va, e)
+	r := d.shadow.User.NewReader()
+	m.resolve(p, d, va, write, &r)
+}
+
+func (m *pvmMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool) {
+	g := m.g
+	c := p.CPU
+	d := pd(p)
+	va = va.PageDown()
+
+	r := d.shadow.User.NewReader()
+	for i := 0; i < pages; {
+		cur := va + arch.VA(i)<<arch.PageShift
+		// Resolve the maximal run of TLB hits in one step.
+		if n := d.tlb.LookupRange(g.VPID, d.pcidUser, cur, pages-i, write); n > 0 {
+			c.AdvanceLazy(int64(n))
+			i += n
+			if i == pages {
+				return
+			}
+			cur = va + arch.VA(i)<<arch.PageShift
+		}
+		m.resolve(p, d, cur, write, &r)
+		i++
+	}
+}
+
+// resolve handles one page whose TLB probe missed: shadow hit → refill,
+// otherwise the full PVM fault choreography.
+func (m *pvmMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	if e, ok := r.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
+		m.refill(p.CPU, d, va, e)
 		return
 	}
+	m.fault(p, d, va, write)
+}
+
+// fault runs the PVM fault choreography (Figure 9) for one page.
+func (m *pvmMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
 
 	// Classification: guest fault (the guest's own table lacks a valid
 	// mapping) or shadow-only fault.
@@ -313,7 +348,7 @@ func (m *pvmMMU) fixSPT(p *guest.Process, d *procData, va arch.VA, prefault bool
 	}
 	install := func() (target arch.PFN) {
 		var alloced bool
-		target, alloced = m.backingFrame(ge.PFN)
+		target, alloced = m.backing.getOrAlloc(ge.PFN, m.allocBacking)
 		hold := fixBody
 		if alloced {
 			hold += prm.FrameAlloc
@@ -339,32 +374,19 @@ func (m *pvmMMU) fixSPT(p *guest.Process, d *procData, va arch.VA, prefault bool
 	}
 }
 
-func (m *pvmMMU) backingFrame(gpa arch.PFN) (arch.PFN, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t, ok := m.backing[gpa]; ok {
-		return t, false
-	}
-	var t arch.PFN
+// allocBacking draws a fresh backing frame from hypervisor memory.
+func (m *pvmMMU) allocBacking() arch.PFN {
 	if m.nested {
-		t = m.g.Sys.L1.GPA.MustAlloc()
-	} else {
-		t = m.g.Sys.Host.HPA.MustAlloc()
+		return m.g.Sys.L1.GPA.MustAlloc()
 	}
-	m.backing[gpa] = t
-	return t, true
+	return m.g.Sys.Host.HPA.MustAlloc()
 }
 
 func (m *pvmMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 	g := m.g
 	d := pd(p)
 	d.tlb.FlushPage(g.VPID, d.pcidUser, va)
-	m.mu.Lock()
-	t, ok := m.backing[gpa]
-	if ok {
-		delete(m.backing, gpa)
-	}
-	m.mu.Unlock()
+	t, ok := m.backing.remove(gpa)
 	if !ok {
 		return
 	}

@@ -2,7 +2,6 @@ package backend
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/core"
@@ -31,8 +30,8 @@ type pvmDirectMMU struct {
 	sw    *core.Switcher
 	locks *core.LockSet
 
-	mu      sync.Mutex
-	backing map[arch.PFN]arch.PFN // l2gpa → machine (hpa or l1gpa) frame
+	// backing maps l2gpa → machine (hpa or l1gpa) frame.
+	backing *frameMap
 }
 
 func newPVMDirectMMU(g *Guest, nested bool) *pvmDirectMMU {
@@ -44,7 +43,7 @@ func newPVMDirectMMU(g *Guest, nested bool) *pvmDirectMMU {
 		g:       g,
 		nested:  nested,
 		locks:   core.NewLockSet(g.Sys.Eng, g.Name, mode),
-		backing: map[arch.PFN]arch.PFN{},
+		backing: newFrameMap(),
 	}
 	m.sw = core.NewSwitcher(m.tableAlloc())
 	return m
@@ -86,7 +85,8 @@ func (m *pvmDirectMMU) register(p *guest.Process) {
 func (m *pvmDirectMMU) unregister(p *guest.Process) {
 	p.GPT.OnWrite = nil
 	d := pd(p)
-	hold := m.g.Sys.Prm.PVMSPTFix + int64(d.sptUser.CountMapped())*10
+	prm := m.g.Sys.Prm
+	hold := prm.PVMSPTFix + int64(d.sptUser.CountMapped())*prm.DirectZapLeaf
 	lock := m.locks.Coarse
 	if m.locks.Mode == core.FineLock {
 		lock = m.locks.Meta
@@ -118,7 +118,6 @@ func (m *pvmDirectMMU) enter(p *guest.Process, toKernel bool) {
 func (m *pvmDirectMMU) access(p *guest.Process, va arch.VA, write bool) {
 	g := m.g
 	c := p.CPU
-	prm := g.Sys.Prm
 	d := pd(p)
 	va = va.PageDown()
 
@@ -126,10 +125,48 @@ func (m *pvmDirectMMU) access(p *guest.Process, va arch.VA, write bool) {
 		c.AdvanceLazy(1)
 		return
 	}
-	if e, ok := d.sptUser.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
-		m.refill(c, d, va, e)
+	r := d.sptUser.NewReader()
+	m.resolve(p, d, va, write, &r)
+}
+
+func (m *pvmDirectMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool) {
+	g := m.g
+	c := p.CPU
+	d := pd(p)
+	va = va.PageDown()
+
+	r := d.sptUser.NewReader()
+	for i := 0; i < pages; {
+		cur := va + arch.VA(i)<<arch.PageShift
+		// Resolve the maximal run of TLB hits in one step.
+		if n := d.tlb.LookupRange(g.VPID, d.pcidUser, cur, pages-i, write); n > 0 {
+			c.AdvanceLazy(int64(n))
+			i += n
+			if i == pages {
+				return
+			}
+			cur = va + arch.VA(i)<<arch.PageShift
+		}
+		m.resolve(p, d, cur, write, &r)
+		i++
+	}
+}
+
+// resolve handles one page whose TLB probe missed: validated machine-table
+// hit → refill, otherwise the direct-paging fault path.
+func (m *pvmDirectMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	if e, ok := r.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
+		m.refill(p.CPU, d, va, e)
 		return
 	}
+	m.fault(p, d, va, write)
+}
+
+// fault runs the direct-paging fault choreography for one page.
+func (m *pvmDirectMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
 
 	// #PF through the switcher into PVM.
 	m.exit(p)
@@ -214,7 +251,7 @@ func (m *pvmDirectMMU) validate(p *guest.Process, d *procData, va arch.VA, ge pa
 
 // install writes the validated machine mapping for va.
 func (m *pvmDirectMMU) install(p *guest.Process, d *procData, va arch.VA, ge pagetable.Entry) {
-	target, _ := m.backingFrame(ge.PFN)
+	target, _ := m.backing.getOrAlloc(ge.PFN, m.allocBacking)
 	flags := pagetable.User
 	if ge.Flags.Has(pagetable.Writable) {
 		flags |= pagetable.Writable
@@ -240,32 +277,19 @@ func (m *pvmDirectMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetabl
 	})
 }
 
-func (m *pvmDirectMMU) backingFrame(gpa arch.PFN) (arch.PFN, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t, ok := m.backing[gpa]; ok {
-		return t, false
-	}
-	var t arch.PFN
+// allocBacking draws a fresh backing frame from hypervisor memory.
+func (m *pvmDirectMMU) allocBacking() arch.PFN {
 	if m.nested {
-		t = m.g.Sys.L1.GPA.MustAlloc()
-	} else {
-		t = m.g.Sys.Host.HPA.MustAlloc()
+		return m.g.Sys.L1.GPA.MustAlloc()
 	}
-	m.backing[gpa] = t
-	return t, true
+	return m.g.Sys.Host.HPA.MustAlloc()
 }
 
 func (m *pvmDirectMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 	g := m.g
 	d := pd(p)
 	d.tlb.FlushPage(g.VPID, d.pcidUser, va)
-	m.mu.Lock()
-	t, ok := m.backing[gpa]
-	if ok {
-		delete(m.backing, gpa)
-	}
-	m.mu.Unlock()
+	t, ok := m.backing.remove(gpa)
 	if !ok {
 		return
 	}

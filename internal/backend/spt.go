@@ -2,7 +2,6 @@ package backend
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/arch"
 	"repro/internal/guest"
@@ -40,12 +39,11 @@ type sptMMU struct {
 	// backing maps L2 guest-physical frames to the frames the shadow
 	// leaves point at: host-physical on bare metal, L1 guest-physical
 	// when nested.
-	mu      sync.Mutex
-	backing map[arch.PFN]arch.PFN
+	backing *frameMap
 }
 
 func newSPTMMU(g *Guest, nested bool) *sptMMU {
-	m := &sptMMU{g: g, nested: nested, backing: map[arch.PFN]arch.PFN{}}
+	m := &sptMMU{g: g, nested: nested, backing: newFrameMap()}
 	if nested {
 		m.mmuLock = g.Sys.Eng.NewLock("l1-mmu:" + g.Name)
 	} else {
@@ -108,7 +106,8 @@ func (m *sptMMU) unregister(p *guest.Process) {
 	p.GPT.OnWrite = nil
 	d := pd(p)
 	// Unshadowing: zap and free the shadow tables under the mmu_lock.
-	hold := m.hold(m.g.Sys.Prm.SPTFix) + int64(d.sptUser.CountMapped())*20
+	prm := m.g.Sys.Prm
+	hold := m.hold(prm.SPTFix) + int64(d.sptUser.CountMapped())*prm.SPTZapLeaf
 	m.mmuLock.With(p.CPU, hold, func() {
 		if err := d.sptUser.Destroy(); err != nil {
 			panic(err)
@@ -144,7 +143,6 @@ func (m *sptMMU) onGPTWrite(p *guest.Process, ev pagetable.WriteEvent) {
 func (m *sptMMU) access(p *guest.Process, va arch.VA, write bool) {
 	g := m.g
 	c := p.CPU
-	prm := g.Sys.Prm
 	d := pd(p)
 	va = va.PageDown()
 
@@ -152,10 +150,50 @@ func (m *sptMMU) access(p *guest.Process, va arch.VA, write bool) {
 		c.AdvanceLazy(1)
 		return
 	}
-	if e, ok := d.sptUser.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
-		m.refill(c, d, va, e)
+	r := d.sptUser.NewReader()
+	m.resolve(p, d, va, write, &r)
+}
+
+func (m *sptMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool) {
+	g := m.g
+	c := p.CPU
+	d := pd(p)
+	va = va.PageDown()
+
+	r := d.sptUser.NewReader()
+	for i := 0; i < pages; {
+		cur := va + arch.VA(i)<<arch.PageShift
+		// Resolve the maximal run of TLB hits in one step.
+		if n := d.tlb.LookupRange(g.VPID, d.pcidUser, cur, pages-i, write); n > 0 {
+			c.AdvanceLazy(int64(n))
+			i += n
+			if i == pages {
+				return
+			}
+			cur = va + arch.VA(i)<<arch.PageShift
+		}
+		m.resolve(p, d, cur, write, &r)
+		i++
+	}
+}
+
+// resolve handles one page whose TLB probe missed: shadow hit → refill,
+// otherwise the full shadow-fault trap.
+func (m *sptMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	if e, ok := r.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
+		m.refill(p.CPU, d, va, e)
 		return
 	}
+	m.fault(p, d, va, write)
+}
+
+// fault runs the shadow-fault choreography: trap to the shadowing
+// hypervisor, classify against the guest table, optionally deliver a guest
+// fault, fix the shadow leaf, and refill the TLB.
+func (m *sptMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
+	g := m.g
+	c := p.CPU
+	prm := g.Sys.Prm
 
 	// #PF on the shadow table: trap to the shadowing hypervisor.
 	m.exit(c)
@@ -213,7 +251,7 @@ func (m *sptMMU) fixSPT(p *guest.Process, d *procData, va arch.VA) {
 	var l1gpa arch.PFN
 	hold := m.hold(prm.SPTFix)
 	m.mmuLock.With(c, 0, func() {
-		target, alloced := m.backingFrame(ge.PFN)
+		target, alloced := m.backing.getOrAlloc(ge.PFN, m.allocBacking)
 		if alloced {
 			hold += prm.FrameAlloc
 		}
@@ -235,34 +273,19 @@ func (m *sptMMU) fixSPT(p *guest.Process, d *procData, va arch.VA) {
 	}
 }
 
-// backingFrame resolves (allocating if needed) the backing frame for an L2
-// guest-physical frame.
-func (m *sptMMU) backingFrame(gpa arch.PFN) (arch.PFN, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if t, ok := m.backing[gpa]; ok {
-		return t, false
-	}
-	var t arch.PFN
+// allocBacking draws a fresh backing frame from hypervisor memory.
+func (m *sptMMU) allocBacking() arch.PFN {
 	if m.nested {
-		t = m.g.Sys.L1.GPA.MustAlloc()
-	} else {
-		t = m.g.Sys.Host.HPA.MustAlloc()
+		return m.g.Sys.L1.GPA.MustAlloc()
 	}
-	m.backing[gpa] = t
-	return t, true
+	return m.g.Sys.Host.HPA.MustAlloc()
 }
 
 func (m *sptMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 	g := m.g
 	d := pd(p)
 	d.tlb.FlushPage(g.VPID, d.pcidUser, va)
-	m.mu.Lock()
-	t, ok := m.backing[gpa]
-	if ok {
-		delete(m.backing, gpa)
-	}
-	m.mu.Unlock()
+	t, ok := m.backing.remove(gpa)
 	if !ok {
 		return
 	}

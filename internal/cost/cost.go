@@ -186,6 +186,14 @@ type Params struct {
 	PVMSPTFix    int64
 	PVMEmulWrite int64
 
+	// SPTZapLeaf is the per-leaf cost of tearing down one shadow leaf at
+	// process exit (zap + rmap removal), charged under the mmu_lock by
+	// the traditional and PVM shadow MMUs on unregister.
+	// DirectZapLeaf is the leaner per-leaf teardown of a validated
+	// direct-paging machine table, which carries no rmap.
+	SPTZapLeaf    int64
+	DirectZapLeaf int64
+
 	// NestedSPTHoldPct scales the shadow-paging critical-section hold
 	// times when the shadowing hypervisor is itself a nested L1 guest
 	// (SPT-on-EPT): its emulation code reads L2 instruction bytes and
@@ -309,6 +317,8 @@ func Default() Params {
 		SPTEmulWrite:     500,
 		PVMSPTFix:        300,
 		PVMEmulWrite:     220,
+		SPTZapLeaf:       20,
+		DirectZapLeaf:    10,
 		EPT02Compress:    900, // software walk of EPT12×EPT01 under the L0 mmu_lock
 		Prefault:         220,
 		NestedSPTHoldPct: 250,

@@ -46,6 +46,14 @@ type Platform interface {
 	// switches, guest fault handling via Kernel.HandleFault).
 	Access(p *Process, va arch.VA, write bool)
 
+	// AccessRange performs pages sequential accesses over the
+	// contiguous range starting at va, equivalent to pages Access
+	// calls on consecutive pages. Implementations resolve maximal
+	// runs of same-outcome pages in one step (run-length TLB
+	// resolution) but must remain observationally identical to the
+	// per-page loop: same virtual time, same counters, same traces.
+	AccessRange(p *Process, va arch.VA, pages int, write bool)
+
 	// ReleasePage is invoked per page on munmap after the guest kernel
 	// freed the frame: free-page reporting propagates the release down
 	// the stack so the next use refaults.
@@ -197,15 +205,11 @@ func (p *Process) mapImage(imagePages int) {
 	if imagePages > 0 {
 		img := VMA{Start: ImageBase, End: ImageBase + arch.VA(imagePages)*arch.PageSize, Writable: true}
 		p.addVMA(img)
-		for va := img.Start; va < img.End; va += arch.PageSize {
-			p.K.plat.Access(p, va, true)
-		}
+		p.K.plat.AccessRange(p, img.Start, imagePages, true)
 	}
 	stack := VMA{Start: StackTop - StackPages*arch.PageSize, End: StackTop, Writable: true}
 	p.addVMA(stack)
-	for va := stack.Start; va < stack.End; va += arch.PageSize {
-		p.K.plat.Access(p, va, true)
-	}
+	p.K.plat.AccessRange(p, stack.Start, StackPages, true)
 }
 
 // Alive reports whether the process has not exited.
@@ -238,8 +242,17 @@ func (p *Process) Touch(va arch.VA, write bool) {
 	p.K.plat.Access(p, va, write)
 }
 
-// TouchRange accesses every page in [va, va+pages).
+// TouchRange accesses every page in [va, va+pages) through the platform's
+// ranged fast path (run-length TLB resolution).
 func (p *Process) TouchRange(va arch.VA, pages int, write bool) {
+	p.K.plat.AccessRange(p, va, pages, write)
+}
+
+// TouchRangeByPage accesses every page in [va, va+pages) one Access call at
+// a time. It is the per-page reference implementation TouchRange must be
+// observationally indistinguishable from (see the backend equivalence
+// tests); workloads should use TouchRange.
+func (p *Process) TouchRangeByPage(va arch.VA, pages int, write bool) {
 	for i := 0; i < pages; i++ {
 		p.Touch(va+arch.VA(i)*arch.PageSize, write)
 	}

@@ -67,6 +67,12 @@ func (f *fakePlatform) Access(p *Process, va arch.VA, write bool) {
 	}
 }
 
+func (f *fakePlatform) AccessRange(p *Process, va arch.VA, pages int, write bool) {
+	for i := 0; i < pages; i++ {
+		f.Access(p, va+arch.VA(i)*arch.PageSize, write)
+	}
+}
+
 func newTestKernel() (*Kernel, *fakePlatform) {
 	f := newFakePlatform()
 	k := NewKernel(f, mem.NewAllocator("gpa", 0, 0x1000))

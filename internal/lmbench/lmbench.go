@@ -14,7 +14,6 @@ package lmbench
 import (
 	"fmt"
 
-	"repro/internal/arch"
 	"repro/internal/guest"
 )
 
@@ -117,9 +116,7 @@ const forkDirtyPages = 48
 
 // redirty writes the parent's working set, as the benchmark loop body does.
 func redirty(p *guest.Process) {
-	for i := 0; i < forkDirtyPages && i < procImagePages; i++ {
-		p.Touch(guest.ImageBase+arch.VA(i)*arch.PageSize, true)
-	}
+	p.TouchRange(guest.ImageBase, min(forkDirtyPages, procImagePages), true)
 }
 
 // ForkProc is lmbench's "fork proc": fork a child that exits immediately.
@@ -233,9 +230,7 @@ func ProtFault(p *guest.Process, pages int) Result {
 	}
 	n := min(pages, procImagePages)
 	start := p.CPU.Now()
-	for i := 0; i < n; i++ {
-		p.Touch(guest.ImageBase+arch.VA(i)*arch.PageSize, true)
-	}
+	p.TouchRange(guest.ImageBase, n, true)
 	return Result{Name: "prot fault", Ops: n, Total: p.CPU.Now() - start}
 }
 
@@ -251,9 +246,7 @@ func PageFault(p *guest.Process, pages int) Result {
 	}
 	n := min(pages, procImagePages)
 	start := child.CPU.Now()
-	for i := 0; i < n; i++ {
-		child.Touch(guest.ImageBase+arch.VA(i)*arch.PageSize, false)
-	}
+	child.TouchRange(guest.ImageBase, n, false)
 	r := Result{Name: "page fault", Ops: n, Total: child.CPU.Now() - start}
 	if err := child.Exit(); err != nil {
 		panic(err)

@@ -1,0 +1,132 @@
+package pagetable
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// TestReaderMatchesDirect drives two identical page tables through a
+// randomized schedule of maps, unmaps, protects, huge mappings, lookups,
+// and walks — one probed through a long-lived Reader, the other directly —
+// and requires bit-identical results and stats throughout. This pins the
+// Reader's coherence contract: the span cache must stay correct across
+// arbitrary interleaved mutations without explicit invalidation.
+func TestReaderMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mkPT := func(name string) *PageTable {
+		pt, err := New(mem.NewAllocator(name, 0, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pt
+	}
+	a := mkPT("reader")
+	b := mkPT("direct")
+	r := a.NewReader()
+
+	// Addresses cluster in a few 2 MiB spans so the cache hits, misses,
+	// crosses spans, and sees in-place mutation of the cached span.
+	randVA := func() arch.VA {
+		span := arch.VA(rng.Intn(4)) * LargePageSpan
+		return span + arch.VA(rng.Intn(64))<<arch.PageShift
+	}
+	flags := func() Flags {
+		f := User
+		if rng.Intn(2) == 0 {
+			f |= Writable
+		}
+		return f
+	}
+
+	for step := 0; step < 30000; step++ {
+		va := randVA()
+		switch op := rng.Intn(10); {
+		case op < 3: // map
+			f := flags()
+			pfn := arch.PFN(rng.Intn(1 << 16))
+			wa, ea := a.Map(va, pfn, f)
+			wb, eb := b.Map(va, pfn, f)
+			if wa != wb || (ea == nil) != (eb == nil) {
+				t.Fatalf("step %d: Map diverged", step)
+			}
+		case op < 4: // unmap
+			if a.Unmap(va) != b.Unmap(va) {
+				t.Fatalf("step %d: Unmap diverged", step)
+			}
+		case op < 5: // protect
+			f := flags()
+			if a.Protect(va, f) != b.Protect(va, f) {
+				t.Fatalf("step %d: Protect diverged", step)
+			}
+		case op < 8: // walk through the reader vs direct
+			write := rng.Intn(2) == 0
+			ea, la, fa := r.Walk(va, write, true)
+			eb, lb, fb := b.Walk(va, write, true)
+			if ea != eb || la != lb || !reflect.DeepEqual(fa, fb) {
+				t.Fatalf("step %d: Walk(%#x, write=%v) diverged: (%v,%d,%v) vs (%v,%d,%v)",
+					step, va, write, ea, la, fa, eb, lb, fb)
+			}
+		default: // lookup through the reader vs direct
+			ea, oka := r.Lookup(va)
+			eb, okb := b.Lookup(va)
+			if ea != eb || oka != okb {
+				t.Fatalf("step %d: Lookup(%#x) diverged: (%v,%v) vs (%v,%v)",
+					step, va, ea, oka, eb, okb)
+			}
+		}
+		if a.Stats() != b.Stats() {
+			t.Fatalf("step %d: stats diverged: %+v vs %+v", step, a.Stats(), b.Stats())
+		}
+	}
+
+	// The tables must end structurally identical.
+	type leafEnt struct {
+		VA arch.VA
+		E  Entry
+	}
+	collect := func(pt *PageTable) []leafEnt {
+		var out []leafEnt
+		pt.Range(func(va arch.VA, e Entry) bool {
+			out = append(out, leafEnt{va, e})
+			return true
+		})
+		return out
+	}
+	if !reflect.DeepEqual(collect(a), collect(b)) {
+		t.Fatal("final leaf mappings diverged")
+	}
+}
+
+// TestReaderSeesLateTables pins the absent-span rule: a span that misses is
+// not cached, so a table created afterwards is found by the next probe.
+func TestReaderSeesLateTables(t *testing.T) {
+	pt, err := New(mem.NewAllocator("late", 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pt.NewReader()
+	va := arch.VA(5 * LargePageSpan)
+	if _, ok := r.Lookup(va); ok {
+		t.Fatal("lookup hit in an empty table")
+	}
+	if _, _, fault := r.Walk(va, false, true); fault == nil {
+		t.Fatal("walk succeeded in an empty table")
+	}
+	if _, err := pt.Map(va, 99, User|Writable); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Lookup(va)
+	if !ok || e.PFN != 99 {
+		t.Fatalf("lookup after late map: got (%v, %v)", e, ok)
+	}
+	// Unmapping mutates the (now cached) leaf in place; the reader must
+	// see it immediately.
+	pt.Unmap(va)
+	if _, ok := r.Lookup(va); ok {
+		t.Fatal("reader returned a stale entry after unmap")
+	}
+}

@@ -10,17 +10,59 @@
 // The LRU chain is an intrusive doubly-linked list threaded through a slice
 // of nodes preallocated at construction, so the steady-state hot path —
 // Lookup and Insert on a warm TLB — performs no heap allocation at all.
+//
+// Tags are packed into a single uint64 (VPN | PCID | VPID) so the entry map
+// hashes an integer key instead of a struct, and a one-entry "micro-TLB"
+// (last resolved tag + its node index, stamped with a structural generation
+// counter) sits in front of the map. The generation is bumped by every
+// insert and every entry removal (page zaps and all flush variants), so a
+// stale micro entry can never be observed — correctness does not depend on
+// callers invalidating anything. LookupRange resolves a run of consecutive
+// pages with per-page semantics identical to repeated Lookup calls
+// (same hit/miss accounting, same LRU reordering) but without re-deriving
+// the tag from scratch on every page.
 package tlb
 
 import (
 	"repro/internal/arch"
 )
 
-// Key tags one TLB entry.
+// Key tags one TLB entry (the unpacked form; entries are stored under the
+// packed uint64 representation).
 type Key struct {
 	VPID arch.VPID
 	PCID arch.PCID
 	VPN  uint64 // virtual page number
+}
+
+// Packed tag layout. The simulated address space is 48 bits
+// (arch.VABits), so a canonical VPN fits in 36 bits; PCIDs are
+// architecturally below 4096 (12 bits), which leaves the full 16-bit VPID
+// range. pack panics rather than aliasing if a tag ever falls outside
+// those bounds.
+const (
+	vpnBits   = arch.VABits - arch.PageShift // 36
+	pcidBits  = 12
+	vpnMask   = 1<<vpnBits - 1
+	pcidShift = vpnBits
+	vpidShift = vpnBits + pcidBits
+)
+
+// pack folds a (VPID, PCID, VPN) tag into one uint64.
+func pack(vpid arch.VPID, pcid arch.PCID, vpn uint64) uint64 {
+	if uint64(pcid) >= 1<<pcidBits || vpn > vpnMask {
+		panic("tlb: tag out of packable range")
+	}
+	return vpn | uint64(pcid)<<pcidShift | uint64(vpid)<<vpidShift
+}
+
+// unpack recovers the tag from its packed form.
+func unpack(k uint64) Key {
+	return Key{
+		VPID: arch.VPID(k >> vpidShift),
+		PCID: arch.PCID(k >> pcidShift & (1<<pcidBits - 1)),
+		VPN:  k & vpnMask,
+	}
 }
 
 // Entry is a cached translation.
@@ -48,20 +90,39 @@ const none = int32(-1)
 
 // node is one slot of the preallocated entry store.
 type node struct {
-	key        Key
+	key        uint64 // packed tag
 	ent        Entry
 	prev, next int32
+
+	// Run link: the slot holding key+1, valid while runGen matches the
+	// TLB's structural generation. Within one generation the key↔slot
+	// assignment is frozen (Insert, eviction, and release all bump gen),
+	// so a matching runGen guarantees the linked slot still caches the
+	// consecutive page — LookupRange follows these links instead of
+	// hashing the map for every page of a hit run.
+	run    int32
+	runGen uint64
 }
 
 // TLB is a capacity-bounded, LRU-evicting, tagged TLB.
 type TLB struct {
 	capacity int
-	entries  map[Key]int32
+	entries  map[uint64]int32
 	nodes    []node // all capacity slots, allocated once
 	head     int32  // most recently used, or none
 	tail     int32  // least recently used, or none
 	free     int32  // chain of unused slots through next
-	stats    Stats
+
+	// Micro-TLB: the last tag resolved by a lookup or insert, and the
+	// node it lives in. Valid only while microGen == gen; gen advances
+	// on every structural change (insert, eviction, zap, flush), so the
+	// cached index can never point at a reassigned slot.
+	microKey  uint64
+	microNode int32
+	microGen  uint64
+	gen       uint64
+
+	stats Stats
 }
 
 // New creates a TLB holding up to capacity entries (capacity <= 0 panics).
@@ -71,10 +132,11 @@ func New(capacity int) *TLB {
 	}
 	t := &TLB{
 		capacity: capacity,
-		entries:  make(map[Key]int32, capacity),
+		entries:  make(map[uint64]int32, capacity),
 		nodes:    make([]node, capacity),
 		head:     none,
 		tail:     none,
+		gen:      1, // microGen zero can never match
 	}
 	for i := range t.nodes {
 		t.nodes[i].next = int32(i) + 1
@@ -113,12 +175,24 @@ func (t *TLB) pushFront(i int32) {
 	}
 }
 
-// Lookup searches for a cached translation. A write access misses on a
-// read-only cached entry (forcing a walk that sets the dirty bit), matching
-// hardware behaviour. Zero-allocation.
-func (t *TLB) Lookup(vpid arch.VPID, pcid arch.PCID, va arch.VA, write bool) (Entry, bool) {
-	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
+// find resolves a packed tag to its node index, consulting the micro-TLB
+// before the map.
+func (t *TLB) find(k uint64) (int32, bool) {
+	if t.microGen == t.gen && t.microKey == k {
+		return t.microNode, true
+	}
 	i, ok := t.entries[k]
+	return i, ok
+}
+
+// remember caches (k -> node i) in the micro-TLB.
+func (t *TLB) remember(k uint64, i int32) {
+	t.microKey, t.microNode, t.microGen = k, i, t.gen
+}
+
+// lookup is Lookup on an already-packed tag.
+func (t *TLB) lookup(k uint64, write bool) (Entry, bool) {
+	i, ok := t.find(k)
 	if !ok {
 		t.stats.Misses++
 		return Entry{}, false
@@ -132,20 +206,82 @@ func (t *TLB) Lookup(vpid arch.VPID, pcid arch.PCID, va arch.VA, write bool) (En
 		t.detach(i)
 		t.pushFront(i)
 	}
+	t.remember(k, i)
 	t.stats.Hits++
 	return ent, true
+}
+
+// Lookup searches for a cached translation. A write access misses on a
+// read-only cached entry (forcing a walk that sets the dirty bit), matching
+// hardware behaviour. Zero-allocation.
+func (t *TLB) Lookup(vpid arch.VPID, pcid arch.PCID, va arch.VA, write bool) (Entry, bool) {
+	return t.lookup(pack(vpid, pcid, va.PageNumber()), write)
+}
+
+// LookupRange probes translations for up to pages consecutive pages
+// starting at va and returns the length of the leading run of hits. Each
+// probed page has exactly the observable effect a Lookup call would have —
+// Hits/Misses accounting, LRU move-to-front — including the terminating
+// miss (when the run is shorter than the request). The work that per-page
+// Lookup repeats is amortized: the tag is packed once (consecutive pages
+// differ by one in the packed form), hits inside a run follow the nodes'
+// run links instead of hashing the map, and the hit count is added in one
+// step. None of that is observable: the micro-TLB and run links only ever
+// short-circuit to the same node the map holds.
+func (t *TLB) LookupRange(vpid arch.VPID, pcid arch.PCID, va arch.VA, pages int, write bool) int {
+	k := pack(vpid, pcid, va.PageNumber())
+	prev := none
+	n := 0
+	for ; n < pages; n++ {
+		var i int32
+		var ok bool
+		if prev != none {
+			if pn := &t.nodes[prev]; pn.runGen == t.gen && pn.run != none {
+				i, ok = pn.run, true
+			}
+		}
+		if !ok {
+			if i, ok = t.find(k); !ok {
+				break
+			}
+		}
+		nd := &t.nodes[i]
+		if write && !nd.ent.Write {
+			break
+		}
+		if t.head != i {
+			t.detach(i)
+			t.pushFront(i)
+		}
+		if prev != none {
+			t.nodes[prev].run = i
+			t.nodes[prev].runGen = t.gen
+		}
+		prev = i
+		k++
+	}
+	if n > 0 {
+		t.stats.Hits += int64(n)
+		t.remember(k-1, prev)
+	}
+	if n < pages {
+		t.stats.Misses++
+	}
+	return n
 }
 
 // Insert caches a translation, evicting the least recently used entry when
 // full. Steady-state (warm map) insertion does not allocate.
 func (t *TLB) Insert(vpid arch.VPID, pcid arch.PCID, va arch.VA, e Entry) {
-	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
+	k := pack(vpid, pcid, va.PageNumber())
+	t.gen++
 	if i, ok := t.entries[k]; ok {
 		t.nodes[i].ent = e
 		if t.head != i {
 			t.detach(i)
 			t.pushFront(i)
 		}
+		t.remember(k, i)
 		return
 	}
 	var i int32
@@ -163,12 +299,14 @@ func (t *TLB) Insert(vpid arch.VPID, pcid arch.PCID, va arch.VA, e Entry) {
 	t.nodes[i].ent = e
 	t.pushFront(i)
 	t.entries[k] = i
+	t.remember(k, i)
 	t.stats.Inserts++
 }
 
 // release returns slot i (already detached from the LRU chain) to the free
-// list and drops its map entry.
+// list and drops its map entry. Bumping gen invalidates the micro-TLB.
 func (t *TLB) release(i int32) {
+	t.gen++
 	delete(t.entries, t.nodes[i].key)
 	t.nodes[i].next = t.free
 	t.free = i
@@ -177,7 +315,7 @@ func (t *TLB) release(i int32) {
 // FlushPage removes one page's translation (INVLPG / INVPCID single-address).
 func (t *TLB) FlushPage(vpid arch.VPID, pcid arch.PCID, va arch.VA) {
 	t.stats.FlushPage++
-	k := Key{VPID: vpid, PCID: pcid, VPN: va.PageNumber()}
+	k := pack(vpid, pcid, va.PageNumber())
 	if i, ok := t.entries[k]; ok {
 		t.detach(i)
 		t.release(i)
@@ -189,8 +327,10 @@ func (t *TLB) FlushPage(vpid arch.VPID, pcid arch.PCID, va arch.VA) {
 // space and returns how many entries were dropped.
 func (t *TLB) FlushPCID(vpid arch.VPID, pcid arch.PCID) int {
 	t.stats.FlushPCID++
-	return t.flushWhere(func(k Key, e Entry) bool {
-		return k.VPID == vpid && k.PCID == pcid && !e.Global
+	tag := uint64(pcid)<<pcidShift | uint64(vpid)<<vpidShift
+	const tagMask = ^uint64(vpnMask)
+	return t.flushWhere(func(k uint64, e Entry) bool {
+		return k&tagMask == tag && !e.Global
 	})
 }
 
@@ -198,16 +338,19 @@ func (t *TLB) FlushPCID(vpid arch.VPID, pcid arch.PCID) int {
 // whole-guest cold-start flush traditional shadow paging suffers.
 func (t *TLB) FlushVPID(vpid arch.VPID) int {
 	t.stats.FlushVPID++
-	return t.flushWhere(func(k Key, e Entry) bool { return k.VPID == vpid })
+	tag := uint64(vpid) << vpidShift
+	return t.flushWhere(func(k uint64, e Entry) bool {
+		return k>>vpidShift<<vpidShift == tag
+	})
 }
 
 // FlushAll empties the TLB (global entries included).
 func (t *TLB) FlushAll() int {
 	t.stats.FlushAll++
-	return t.flushWhere(func(Key, Entry) bool { return true })
+	return t.flushWhere(func(uint64, Entry) bool { return true })
 }
 
-func (t *TLB) flushWhere(pred func(Key, Entry) bool) int {
+func (t *TLB) flushWhere(pred func(uint64, Entry) bool) int {
 	n := 0
 	for i := t.head; i != none; {
 		next := t.nodes[i].next
@@ -224,6 +367,10 @@ func (t *TLB) flushWhere(pred func(Key, Entry) bool) int {
 
 // Len returns the number of live entries.
 func (t *TLB) Len() int { return len(t.entries) }
+
+// Generation returns the structural generation counter guarding the
+// micro-TLB. It advances on every insert, eviction, zap, and flush.
+func (t *TLB) Generation() uint64 { return t.gen }
 
 // Stats returns a snapshot of the counters.
 func (t *TLB) Stats() Stats { return t.stats }
