@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench microbench artifacts
+.PHONY: all build test check bench bench-diff microbench artifacts
 
 all: build
 
@@ -18,11 +18,16 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/vclock/... ./internal/experiments/...
 
-# bench regenerates BENCH_pr2.json: the TouchRange ranged-vs-per-page
-# before/after grid across all five MMU backends plus the serial
-# default-grid wall clock (compared against BENCH_pr1.json's baseline).
+# bench regenerates BENCH_pr3.json: the TouchRange and ColdFault
+# ranged-vs-per-page grids across all five MMU backends plus the serial
+# default-grid wall clock (compared against BENCH_pr2.json's baseline).
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_pr2.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr3.json
+
+# bench-diff compares the two most recent bench artifacts cell by cell and
+# fails on regressions beyond the default threshold.
+bench-diff:
+	$(GO) run ./cmd/benchreport -diff BENCH_pr2.json BENCH_pr3.json
 
 # microbench runs the low-level hot-path benchmarks of the simulator core.
 microbench:

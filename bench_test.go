@@ -220,6 +220,57 @@ func BenchmarkTouchRangeFaultingPerPage(b *testing.B) {
 	}
 }
 
+// Cold-fault benchmarks: ns/op is the simulator's cost per *page* populated
+// by a fresh process touching a cold region — every page runs the full
+// demand-zero fault choreography against empty page tables, the workload the
+// cold-fault fast lane (solo-vCPU engine bypass + bulk leaf population)
+// targets. ColdFaultRange drives the ranged path, ColdFault the per-page
+// reference; BENCH_pr3.json pairs them per backend.
+
+func benchColdFault(b *testing.B, cfg Config, direct, ranged bool) {
+	opt := DefaultOptions()
+	opt.DirectPaging = direct
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One short-lived process per chunk: each starts from an empty address
+	// space (beyond the image) so every touched page is a cold fault, and
+	// with one runnable vCPU the engine's solo bypass is on the path.
+	const chunk = 512
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < n; i += chunk {
+		sweep := chunk
+		if left := n - i; left < sweep {
+			sweep = left
+		}
+		g.Run(0, 8, func(p *Process) {
+			base := p.Mmap(sweep)
+			if ranged {
+				p.TouchRange(base, sweep, true)
+			} else {
+				p.TouchRangeByPage(base, sweep, true)
+			}
+		})
+		sys.Eng.Wait()
+	}
+}
+
+func BenchmarkColdFault(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchColdFault(b, c.cfg, c.direct, false) })
+	}
+}
+
+func BenchmarkColdFaultRange(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchColdFault(b, c.cfg, c.direct, true) })
+	}
+}
+
 // BenchmarkConcurrentMembench measures simulator throughput under the
 // contended 16-process Figure 10 workload.
 func BenchmarkConcurrentMembench(b *testing.B) {

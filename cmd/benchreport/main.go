@@ -1,13 +1,16 @@
 // Command benchreport produces the PR's before/after performance artifact
-// (BENCH_pr2.json by default): it runs the TouchRange benchmark grid — the
-// ranged fast path against its per-page reference implementation for every
-// MMU backend — pairs the ns/op numbers into speedups, times the serial
-// default-scale experiment grid, and emits one JSON document.
+// (BENCH_pr3.json by default): it runs the TouchRange and ColdFault
+// benchmark grids — the ranged fast path against its per-page reference
+// implementation for every MMU backend — pairs the ns/op numbers into
+// speedups, times the serial default-scale experiment grid, and emits one
+// JSON document.
 //
-// Usage:
+// With -diff it instead compares two previously generated artifacts and
+// reports per-cell speedups, flagging regressions beyond -threshold:
 //
-//	go run ./cmd/benchreport -out BENCH_pr2.json
+//	go run ./cmd/benchreport -out BENCH_pr3.json
 //	go run ./cmd/benchreport -benchtime 500000x -skip-grid
+//	go run ./cmd/benchreport -diff BENCH_pr2.json BENCH_pr3.json
 package main
 
 import (
@@ -19,6 +22,7 @@ import (
 	"os/exec"
 	"regexp"
 	"runtime"
+	"sort"
 	"time"
 
 	"repro/internal/experiments"
@@ -28,6 +32,10 @@ import (
 //
 //	BenchmarkTouchRangeResident/PVMNested-8   2000000   11.27 ns/op   0 B/op ...
 var benchLine = regexp.MustCompile(`^Benchmark(TouchRange(?:Resident|Faulting))(PerPage)?/(\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+// coldLine matches one ColdFault pair line: ColdFaultRange is the ranged
+// (bulk-population) path, bare ColdFault the per-page reference.
+var coldLine = regexp.MustCompile(`^BenchmarkColdFault(Range)?/(\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
 // pair is one backend's ranged-vs-reference measurement.
 type pair struct {
@@ -51,21 +59,32 @@ type report struct {
 	Benchtime  string                      `json:"benchtime"`
 	Notes      []string                    `json:"notes"`
 	TouchRange map[string]map[string]*pair `json:"touch_range_ns_per_page"`
+	ColdFault  map[string]*pair            `json:"cold_fault_ns_per_page,omitempty"`
 	Grid       *gridTiming                 `json:"default_grid,omitempty"`
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr2.json", "output `file`")
+		out       = flag.String("out", "BENCH_pr3.json", "output `file`")
 		benchtime = flag.String("benchtime", "2000000x", "-benchtime passed to go test")
 		count     = flag.Int("count", 3, "-count passed to go test (best ns/op per cell is kept)")
 		skipGrid  = flag.Bool("skip-grid", false, "skip the default-grid wall-clock timing")
-		baseline  = flag.String("baseline", "BENCH_pr1.json", "prior bench artifact to read the baseline grid wall clock from (empty = none)")
+		baseline  = flag.String("baseline", "BENCH_pr2.json", "prior bench artifact to read the baseline grid wall clock from (empty = none)")
+		diffMode  = flag.Bool("diff", false, "compare two artifacts: benchreport -diff old.json new.json")
+		threshold = flag.Float64("threshold", 1.10, "with -diff, fail if any new ranged ns/op exceeds old by this factor (0 disables)")
 	)
 	flag.Parse()
 
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchreport: -diff needs exactly two arguments: old.json new.json")
+			os.Exit(2)
+		}
+		os.Exit(diffReports(flag.Arg(0), flag.Arg(1), *threshold))
+	}
+
 	rep := report{
-		PR:        "ranged memory-access fast path",
+		PR:        "cold-fault fast lane",
 		Date:      time.Now().Format("2006-01-02"),
 		Host:      fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		Benchtime: *benchtime,
@@ -73,13 +92,14 @@ func main() {
 			"ranged = Process.TouchRange via Guest.AccessRange (run-length TLB resolution, per-node run links, one lazy advance per hit run)",
 			"per_page = Process.TouchRangeByPage, the per-page reference path the equivalence tests pin the fast path against",
 			"resident sweeps a 1024-page working set inside the 1536-entry TLB (steady-state all hits); faulting maps+touches+unmaps so every page replays the full miss choreography",
-			"faulting gains come only from the cached-leaf page-table Reader on the miss path; the run-length machinery is TLB-hit-side by design",
+			"cold_fault spawns a fresh solo process per 512-page chunk so every touch is a demand-zero fault against empty tables: the solo-vCPU engine bypass + bulk leaf population workload",
 			"minimum ns/op of -count runs per cell after a discarded warmup pass (1-CPU shared host)",
 		},
 		TouchRange: map[string]map[string]*pair{
 			"resident": {},
 			"faulting": {},
 		},
+		ColdFault: map[string]*pair{},
 	}
 
 	if err := runBenchmarks(&rep, *benchtime, *count); err != nil {
@@ -115,15 +135,16 @@ func main() {
 // discarded warmup pass runs first so the first cell of the measured grid
 // does not pay the cold-start penalty (build cache, CPU frequency ramp).
 func runBenchmarks(rep *report, benchtime string, count int) error {
+	const pattern = "Benchmark(TouchRange(Resident|Faulting)(PerPage)?|ColdFault(Range)?)/"
 	warm := exec.Command("go", "test", "-run", "^$",
-		"-bench", "BenchmarkTouchRange(Resident|Faulting)(PerPage)?/",
+		"-bench", pattern,
 		"-benchtime", "100000x", ".")
 	warm.Stdout, warm.Stderr = io.Discard, os.Stderr
 	if err := warm.Run(); err != nil {
 		return fmt.Errorf("warmup: %v", err)
 	}
 	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", "BenchmarkTouchRange(Resident|Faulting)(PerPage)?/",
+		"-bench", pattern,
 		"-benchtime", benchtime, "-count", fmt.Sprint(count), ".")
 	cmd.Stderr = os.Stderr
 	outPipe, err := cmd.StdoutPipe()
@@ -145,6 +166,19 @@ func runBenchmarks(rep *report, benchtime string, count int) error {
 	ranged := map[cell]float64{}
 	perPage := map[cell]float64{}
 	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		if m := coldLine.FindStringSubmatch(line); m != nil {
+			var ns float64
+			fmt.Sscanf(m[3], "%g", &ns)
+			dst := perPage
+			if m[1] == "Range" {
+				dst = ranged
+			}
+			c := cell{"cold_fault", m[2]}
+			if old, ok := dst[c]; !ok || ns < old {
+				dst[c] = ns
+			}
+			continue
+		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
 			continue
@@ -172,13 +206,104 @@ func runBenchmarks(rep *report, benchtime string, count int) error {
 		if !ok {
 			continue
 		}
-		rep.TouchRange[c.kind][c.config] = &pair{
+		p := &pair{
 			RangedNs:  ns,
 			PerPageNs: ref,
 			Speedup:   round2(ref / ns),
 		}
+		if c.kind == "cold_fault" {
+			rep.ColdFault[c.config] = p
+		} else {
+			rep.TouchRange[c.kind][c.config] = p
+		}
 	}
 	return nil
+}
+
+// diffReports compares two bench artifacts cell by cell and prints per-cell
+// old/new ranged ns/op with the resulting speedup. Returns a non-zero exit
+// code if any cell present in both artifacts regressed by more than the
+// threshold factor (new > old*threshold); cells present in only one artifact
+// are reported but never fail the diff.
+func diffReports(oldPath, newPath string, threshold float64) int {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
+		return 2
+	}
+	fmt.Printf("%s (%s) -> %s (%s)\n", oldPath, oldRep.PR, newPath, newRep.PR)
+	fmt.Printf("%-34s %12s %12s %9s\n", "cell (ranged ns/page)", "old", "new", "speedup")
+
+	regressed := 0
+	compare := func(name string, o, n *pair) {
+		switch {
+		case o == nil && n == nil:
+			return
+		case o == nil:
+			fmt.Printf("%-34s %12s %12.2f %9s\n", name, "-", n.RangedNs, "new")
+		case n == nil:
+			fmt.Printf("%-34s %12.2f %12s %9s\n", name, o.RangedNs, "-", "gone")
+		default:
+			speed := o.RangedNs / n.RangedNs
+			mark := ""
+			if threshold > 0 && n.RangedNs > o.RangedNs*threshold {
+				mark = "  REGRESSION"
+				regressed++
+			}
+			fmt.Printf("%-34s %12.2f %12.2f %8.2fx%s\n", name, o.RangedNs, n.RangedNs, speed, mark)
+		}
+	}
+	for _, kind := range []string{"resident", "faulting"} {
+		for _, cfg := range sortedKeys(oldRep.TouchRange[kind], newRep.TouchRange[kind]) {
+			compare(kind+"/"+cfg, oldRep.TouchRange[kind][cfg], newRep.TouchRange[kind][cfg])
+		}
+	}
+	for _, cfg := range sortedKeys(oldRep.ColdFault, newRep.ColdFault) {
+		compare("cold_fault/"+cfg, oldRep.ColdFault[cfg], newRep.ColdFault[cfg])
+	}
+	if oldRep.Grid != nil && newRep.Grid != nil && newRep.Grid.WallS > 0 {
+		fmt.Printf("%-34s %11.2fs %11.2fs %8.2fx\n", "default grid wall clock",
+			oldRep.Grid.WallS, newRep.Grid.WallS, oldRep.Grid.WallS/newRep.Grid.WallS)
+	}
+	if regressed > 0 {
+		fmt.Printf("FAIL: %d cell(s) regressed beyond %.2fx\n", regressed, threshold)
+		return 1
+	}
+	fmt.Println("OK: no cell regressed beyond threshold")
+	return 0
+}
+
+func loadReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// sortedKeys merges the key sets of two cells maps into one sorted list.
+func sortedKeys(ms ...map[string]*pair) []string {
+	seen := map[string]bool{}
+	var keys []string
+	for _, m := range ms {
+		for k := range m {
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // timeGrid runs the full default-scale experiment grid serially in-process

@@ -228,12 +228,17 @@ func NewSystemWithParams(cfg Config, opt Options, prm cost.Params) *System {
 // Guests returns the secure-container VMs created so far.
 func (s *System) Guests() []*Guest { return s.guests }
 
-// trace records an event when tracing is enabled.
-func (s *System) trace(c *vclock.CPU, kind trace.Kind, format string, args ...any) {
+// trace records a typed event when tracing is enabled. The payload is a
+// form id plus scalar arguments; formatting is deferred to Events() time so
+// the recording path never calls fmt (see package trace).
+func (s *System) trace(c *vclock.CPU, kind trace.Kind, form trace.Form, label string, pid int, a uint64, b int64, str string) {
 	if s.Tracer == nil {
 		return
 	}
-	s.Tracer.Record(c.Now(), c.ID(), kind, format, args...)
+	s.Tracer.Add(trace.Event{
+		T: c.Now(), CPU: c.ID(), Kind: kind,
+		Form: form, Label: label, PID: pid, A: a, B: b, Str: str,
+	})
 }
 
 // Guest is one secure container's VM, implementing guest.Platform.
@@ -409,7 +414,7 @@ func (g *Guest) UnregisterProcess(p *guest.Process) {
 // FlushRange implements guest.Platform.
 func (g *Guest) FlushRange(p *guest.Process, pages int) {
 	g.Sys.Ctr.TLBFlushes.Add(1)
-	g.Sys.trace(p.CPU, trace.KindFlush, "%s pid=%d pages=%d", g.Name, p.PID, pages)
+	g.Sys.trace(p.CPU, trace.KindFlush, trace.FormFlush, g.Name, p.PID, uint64(pages), 0, "")
 	g.mmu.flushRange(p, pages)
 }
 
@@ -438,13 +443,13 @@ func (g *Guest) ReleasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 // SyscallRoundTrip implements guest.Platform.
 func (g *Guest) SyscallRoundTrip(p *guest.Process, body int64) {
 	g.Sys.Ctr.Syscalls.Add(1)
-	g.Sys.trace(p.CPU, trace.KindSyscall, "%s pid=%d body=%dns", g.Name, p.PID, body)
+	g.Sys.trace(p.CPU, trace.KindSyscall, trace.FormSyscall, g.Name, p.PID, uint64(body), 0, "")
 	g.cpu.syscall(p, body)
 }
 
 // PrivOp implements guest.Platform.
 func (g *Guest) PrivOp(p *guest.Process, op arch.PrivOp) {
-	g.Sys.trace(p.CPU, trace.KindPrivOp, "%s pid=%d %v", g.Name, p.PID, op)
+	g.Sys.trace(p.CPU, trace.KindPrivOp, trace.FormPrivOp, g.Name, p.PID, 0, 0, op.String())
 	g.cpu.privOp(p, op)
 }
 
@@ -454,7 +459,7 @@ func (g *Guest) Halt(p *guest.Process) { g.cpu.halt(p) }
 // DeliverInterrupt implements guest.Platform.
 func (g *Guest) DeliverInterrupt(p *guest.Process, vector uint8) {
 	g.Sys.Ctr.Interrupts.Add(1)
-	g.Sys.trace(p.CPU, trace.KindInterrupt, "%s pid=%d vector=%d", g.Name, p.PID, vector)
+	g.Sys.trace(p.CPU, trace.KindInterrupt, trace.FormInterrupt, g.Name, p.PID, uint64(vector), 0, "")
 	g.cpu.interrupt(p, vector)
 }
 
@@ -472,13 +477,13 @@ func (g *Guest) submitIO(p *guest.Process, dev *virtio.Device, n int, bytes int6
 	if n <= 0 {
 		return
 	}
-	g.Sys.trace(p.CPU, trace.KindIO, "%s pid=%d %s n=%d bytes=%d", g.Name, p.PID, dev, n, bytes)
+	g.Sys.trace(p.CPU, trace.KindIO, trace.FormIO, g.Name, p.PID, uint64(n), bytes, dev.String())
 	b := dev.Submit(n, bytes)
 	g.Sys.Ctr.IORequests.Add(int64(n))
 	for i := int64(0); i < b.Kicks; i++ {
 		g.cpu.ioKick(p)
 	}
-	p.CPU.Advance(b.Service)
+	p.CPU.AdvanceLazy(b.Service)
 	for i := int64(0); i < b.Completes; i++ {
 		g.cpu.ioComplete(p)
 	}
@@ -510,6 +515,13 @@ type procData struct {
 	sptUser   *pagetable.PageTable
 	sptKernel *pagetable.PageTable
 	shadow    *core.ShadowSpace
+
+	// sptMapper is a cached-leaf write cursor over sptUser, used by the
+	// SPT and direct-paging fix paths so a run of cold faults builds the
+	// shadow with one upper-level walk per 2 MiB span. Owned by the
+	// process's vCPU; zap paths mutate leaves in place, keeping the cache
+	// coherent (see pagetable.Mapper).
+	sptMapper pagetable.Mapper
 
 	// PVM PCID mapping (§3.3.2): host PCIDs assigned to this L2 address
 	// space. Zero when the optimization is off.

@@ -31,12 +31,12 @@ func (u *hwCPU) roundTrip(p *guest.Process, handler int64) {
 	prm := g.Sys.Prm
 	if u.nested {
 		g.l2ToL1(c)
-		c.Advance(prm.NestedExitHousekeeping + handler)
+		c.AdvanceLazy(prm.NestedExitHousekeeping + handler)
 		g.l1ToL2(c)
 		return
 	}
 	g.exitHW(c)
-	c.Advance(handler)
+	c.AdvanceLazy(handler)
 	g.entryHW(c)
 }
 
@@ -48,7 +48,7 @@ func (u *hwCPU) syscall(p *guest.Process, body int64) {
 		// KPTI under shadow paging: the entry and exit CR3 loads each
 		// trap to the shadowing hypervisor to switch shadow roots.
 		u.roundTrip(p, prm.SPTCR3Switch)
-		c.Advance(prm.SyscallBody + body)
+		c.AdvanceLazy(prm.SyscallBody + body)
 		u.roundTrip(p, prm.SPTCR3Switch)
 		return
 	}
@@ -125,14 +125,14 @@ func (u *hwCPU) interrupt(p *guest.Process, vector uint8) {
 		// which re-injects into L2 — with additional exits for the
 		// interrupt window (§3.3.3).
 		g.l2ToL1(c)
-		c.Advance(prm.InterruptInjectKVM)
+		c.AdvanceLazy(prm.InterruptInjectKVM)
 		g.l1ToL2(c)
 		g.l2ToL1(c)
 		g.l1ToL2(c)
 		return
 	}
 	g.exitHW(c)
-	c.Advance(prm.InterruptInjectKVM)
+	c.AdvanceLazy(prm.InterruptInjectKVM)
 	g.entryHW(c)
 }
 
@@ -144,21 +144,21 @@ func (u *hwCPU) ioKick(p *guest.Process) {
 		// Doorbell exits to L0, forwarded to vhost in L1; L1 performs
 		// the real I/O through its own virtio to L0.
 		g.l2ToL1(c)
-		c.Advance(prm.VirtioKick)
+		c.AdvanceLazy(prm.VirtioKick)
 		g.l1ToL2(c)
 		g.Sys.Ctr.Switch(metrics.SwitchHW)
 		g.Sys.Ctr.Switch(metrics.SwitchHW)
 		g.Sys.Ctr.L0Exits.Add(1)
-		c.Advance(2*prm.SwitchHW + prm.VirtioKick)
+		c.AdvanceLazy(2*prm.SwitchHW + prm.VirtioKick)
 		return
 	}
 	g.exitHW(c)
-	c.Advance(prm.VirtioKick)
+	c.AdvanceLazy(prm.VirtioKick)
 	g.entryHW(c)
 }
 
 func (u *hwCPU) ioComplete(p *guest.Process) {
-	p.CPU.Advance(u.g.Sys.Prm.VirtioComplete)
+	p.CPU.AdvanceLazy(u.g.Sys.Prm.VirtioComplete)
 	u.interrupt(p, 40 /* virtio-blk vector */)
 }
 
@@ -211,7 +211,7 @@ func (u *pvmCPU) mmu() pvmTransitions { return u.g.mmu.(pvmTransitions) }
 func (u *pvmCPU) roundTrip(p *guest.Process, handler int64) {
 	m := u.mmu()
 	m.exit(p)
-	p.CPU.Advance(handler)
+	p.CPU.AdvanceLazy(handler)
 	m.enter(p, false)
 }
 
@@ -234,16 +234,16 @@ func (u *pvmCPU) syscall(p *guest.Process, body int64) {
 			d.tlb.FlushVPID(g.VPID)
 			ctr.TLBFlushes.Add(2)
 		}
-		c.Advance(2*prm.SwitchDirect + prm.SyscallFrameSetup + prm.SyscallBody + body + extra)
+		c.AdvanceLazy(2*prm.SwitchDirect + prm.SyscallFrameSetup + prm.SyscallBody + body + extra)
 		return
 	}
 	// Full exit path: switcher → PVM hypervisor → guest kernel → sysret
 	// hypercall → switcher → guest user. Four world switches.
 	m := u.mmu()
 	m.exit(p)
-	c.Advance(prm.PVMSyscallForward)
+	c.AdvanceLazy(prm.PVMSyscallForward)
 	m.enter(p, true)
-	c.Advance(prm.SyscallBody + body)
+	c.AdvanceLazy(prm.SyscallBody + body)
 	ctr.Hypercalls.Add(1) // sysret hypercall
 	m.exit(p)
 	m.enter(p, false)
@@ -281,7 +281,7 @@ func (u *pvmCPU) privOp(p *guest.Process, op arch.PrivOp) {
 			ctr.Switch(metrics.SwitchHW)
 			ctr.Switch(metrics.SwitchHW)
 			ctr.L0Exits.Add(1)
-			c.Advance(prm.PIONestedL0Work)
+			c.AdvanceLazy(prm.PIONestedL0Work)
 		}
 	case arch.OpHLT:
 		u.halt(p)
@@ -323,7 +323,7 @@ func (u *pvmCPU) interrupt(p *guest.Process, vector uint8) {
 		g.Sys.Ctr.Switch(metrics.SwitchHW)
 		g.Sys.Ctr.Switch(metrics.SwitchHW)
 		g.Sys.Ctr.L0Exits.Add(1)
-		c.Advance(2 * prm.SwitchHW)
+		c.AdvanceLazy(2 * prm.SwitchHW)
 	}
 	// The interrupted guest enters the switcher's customized IDT, which
 	// transitions into PVM; PVM converts the interrupt to a virtual one,
@@ -331,7 +331,7 @@ func (u *pvmCPU) interrupt(p *guest.Process, vector uint8) {
 	// which returns via the iret hypercall.
 	m.exit(p)
 	m.Switcher().SharedIF.Get()
-	c.Advance(prm.InterruptInjectPVM)
+	c.AdvanceLazy(prm.InterruptInjectPVM)
 	m.enter(p, true)
 	g.Sys.Ctr.Hypercalls.Add(1) // iret hypercall
 	m.exit(p)
@@ -348,11 +348,11 @@ func (u *pvmCPU) ioKick(p *guest.Process) {
 		g.Sys.Ctr.Switch(metrics.SwitchHW)
 		g.Sys.Ctr.Switch(metrics.SwitchHW)
 		g.Sys.Ctr.L0Exits.Add(1)
-		c.Advance(2*prm.SwitchHW + prm.VirtioKick)
+		c.AdvanceLazy(2*prm.SwitchHW + prm.VirtioKick)
 	}
 }
 
 func (u *pvmCPU) ioComplete(p *guest.Process) {
-	p.CPU.Advance(u.g.Sys.Prm.VirtioComplete)
+	p.CPU.AdvanceLazy(u.g.Sys.Prm.VirtioComplete)
 	u.interrupt(p, 40 /* virtio-blk vector */)
 }

@@ -87,7 +87,7 @@ func (m *eptMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, 
 		// any VM exit — the defining advantage of hardware-assisted
 		// memory virtualization.
 		g.Sys.Ctr.GuestFaults.Add(1)
-		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest-internal fault va=%#x", g.Name, p.PID, va)
+		g.Sys.trace(c, trace.KindFault, trace.FormInternalFault, g.Name, p.PID, uint64(va), 0, "")
 		c.AdvanceLazy(prm.ExceptionDelivery)
 		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
 			panic(fmt.Sprintf("backend/ept: %v", err))

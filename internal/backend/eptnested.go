@@ -31,6 +31,13 @@ type eptNestedMMU struct {
 	// ept02 maps L2 guest-physical to host-physical; maintained by L0.
 	ept02 *pagetable.PageTable
 
+	// ept12M and ept02M are cached-leaf write cursors for the violation
+	// fix paths. ept12M is touched only under l1Lock and ept02M only
+	// under the L0 mmu_lock, matching the tables they cover; releasePage
+	// unmaps in place under the same locks, keeping the caches coherent.
+	ept12M pagetable.Mapper
+	ept02M pagetable.Mapper
+
 	// l1Lock is L1 kvm's mmu_lock for this L2 guest.
 	l1Lock *vclock.Lock
 
@@ -58,6 +65,8 @@ func newEPTNestedMMU(g *Guest) *eptNestedMMU {
 	// it and updates its shadow structures under the L0 mmu_lock
 	// (Figure 3b steps 5–7).
 	m.ept12.OnWrite = m.onEPT12Write
+	m.ept12M = m.ept12.NewMapper()
+	m.ept02M = m.ept02.NewMapper()
 	return m
 }
 
@@ -79,7 +88,7 @@ func (m *eptNestedMMU) onEPT12Write(ev pagetable.WriteEvent) {
 	ctr.Switch(metrics.SwitchHW)
 	ctr.Switch(metrics.SwitchHW)
 	ctr.L0Exits.Add(1)
-	c.Advance(2 * prm.SwitchHW)
+	c.AdvanceLazy(2 * prm.SwitchHW)
 	g.vm.MMULock.With(c, prm.EPT02Compress, nil)
 }
 
@@ -144,7 +153,7 @@ func (m *eptNestedMMU) resolve(p *guest.Process, d *procData, va arch.VA, write 
 	if fault != nil {
 		// Guest-internal #PF: no exits (Figure 3b steps 1–3).
 		g.Sys.Ctr.GuestFaults.Add(1)
-		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest-internal fault va=%#x", g.Name, p.PID, va)
+		g.Sys.trace(c, trace.KindFault, trace.FormInternalFault, g.Name, p.PID, uint64(va), 0, "")
 		c.AdvanceLazy(prm.ExceptionDelivery)
 		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
 			panic(fmt.Sprintf("backend/eptnested: %v", err))
@@ -190,11 +199,11 @@ func (m *eptNestedMMU) ept02Violation(p *guest.Process, gpa arch.PFN) {
 			hold += prm.FrameAlloc
 		}
 		m.cur = c
-		if _, err := m.ept12.Map(gpaVA(gpa), l1gpa, pagetable.Writable|pagetable.User); err != nil {
+		if _, err := m.ept12M.Map(gpaVA(gpa), l1gpa, pagetable.Writable|pagetable.User); err != nil {
 			panic(err)
 		}
 		m.cur = nil
-		c.Advance(hold)
+		c.AdvanceLazy(hold)
 	})
 
 	// Steps 8–10: L1 resumes L2; the VMRESUME traps to L0, which merges
@@ -208,7 +217,7 @@ func (m *eptNestedMMU) ept02Violation(p *guest.Process, gpa arch.PFN) {
 	// per-L1-VM mmu_lock — shared by every L2 guest of the instance.
 	hpa, _ := g.Sys.L1.EnsureBacking(c, l1gpa)
 	g.vm.MMULock.With(c, prm.EPT02Compress, func() {
-		if _, err := m.ept02.Map(gpaVA(gpa), hpa, pagetable.Writable|pagetable.User); err != nil {
+		if _, err := m.ept02M.Map(gpaVA(gpa), hpa, pagetable.Writable|pagetable.User); err != nil {
 			panic(err)
 		}
 	})

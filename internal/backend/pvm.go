@@ -221,10 +221,10 @@ func (m *pvmMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
 		// shadow faults and vectors the #PF straight into the L2
 		// guest kernel — no PVM hypervisor entry on the way in.
 		g.Sys.Ctr.GuestFaults.Add(1)
-		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest fault va=%#x (switcher-classified)", g.Name, p.PID, va)
+		g.Sys.trace(c, trace.KindFault, trace.FormSwitcherFault, g.Name, p.PID, uint64(va), 0, "")
 		g.Sys.Ctr.Switch(metrics.SwitchDirect)
 		g.Sys.Ctr.DirectSwitches.Add(1)
-		c.Advance(prm.SwitchDirect + int64(arch.PTLevels)*prm.PageWalkLevel)
+		c.AdvanceLazy(prm.SwitchDirect + int64(arch.PTLevels)*prm.PageWalkLevel)
 		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
 			panic(fmt.Sprintf("backend/pvm: %v", err))
 		}
@@ -245,7 +245,7 @@ func (m *pvmMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
 		m.exit(p)
 		c.AdvanceLazy(int64(arch.PTLevels) * prm.PageWalkLevel)
 		g.Sys.Ctr.GuestFaults.Add(1)
-		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest fault va=%#x", g.Name, p.PID, va)
+		g.Sys.trace(c, trace.KindFault, trace.FormGuestFault, g.Name, p.PID, uint64(va), 0, "")
 		m.enter(p, true)
 		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
 			panic(fmt.Sprintf("backend/pvm: %v", err))
@@ -354,7 +354,7 @@ func (m *pvmMMU) fixSPT(p *guest.Process, d *procData, va arch.VA, prefault bool
 			hold += prm.FrameAlloc
 		}
 		d.shadow.Install(va, target, ge.Flags)
-		c.Advance(hold)
+		c.AdvanceLazy(hold)
 		return target
 	}
 	var target arch.PFN
@@ -417,10 +417,17 @@ func (m *pvmMMU) flushRange(p *guest.Process, pages int) {
 	prm := g.Sys.Prm
 	d := pd(p)
 	g.Sys.Ctr.Hypercalls.Add(1) // flush_tlb_range hypercall
+	if !g.Sys.Opt.PCIDMap {
+		// The shootdown branch below reads the live-process count —
+		// shared mutable state outside any virtual lock. Gate before
+		// the (lazily charged) exit leg so the read lands in this
+		// vCPU's virtual-time slot.
+		c.Sync()
+	}
 	m.exit(p)
 	m.syncReplay(p, d)
 	if g.Sys.Opt.PCIDMap {
-		c.Advance(prm.TLBFlushPCID + int64(pages)*prm.FlushPTEScan)
+		c.AdvanceLazy(prm.TLBFlushPCID + int64(pages)*prm.FlushPTEScan)
 		d.tlb.FlushPCID(g.VPID, d.pcidUser)
 	} else {
 		remote := int64(g.LiveProcs() - 1)

@@ -74,6 +74,7 @@ func (m *pvmDirectMMU) register(p *guest.Process) {
 	mpt := newShadowPT(m.tableAlloc())
 	m.sw.MapInto(mpt)
 	d.sptUser = mpt // reuse the slot: the validated machine table
+	d.sptMapper = mpt.NewMapper()
 	p.PlatformData = d
 	// No write protection: stores append to the shared mmu_update batch.
 	p.GPT.OnWrite = func(ev pagetable.WriteEvent) {
@@ -87,6 +88,7 @@ func (m *pvmDirectMMU) unregister(p *guest.Process) {
 	d := pd(p)
 	prm := m.g.Sys.Prm
 	hold := prm.PVMSPTFix + int64(d.sptUser.CountMapped())*prm.DirectZapLeaf
+	d.sptMapper.Reset() // cached leaf must not outlive Destroy
 	lock := m.locks.Coarse
 	if m.locks.Mode == core.FineLock {
 		lock = m.locks.Meta
@@ -177,7 +179,7 @@ func (m *pvmDirectMMU) fault(p *guest.Process, d *procData, va arch.VA, write bo
 		// Guest fault: inject into the guest kernel, whose PTE
 		// updates accumulate in the mmu_update batch.
 		g.Sys.Ctr.GuestFaults.Add(1)
-		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest fault va=%#x", g.Name, p.PID, va)
+		g.Sys.trace(c, trace.KindFault, trace.FormGuestFault, g.Name, p.PID, uint64(va), 0, "")
 		m.enter(p, true)
 		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
 			panic(fmt.Sprintf("backend/pvmdirect: %v", err))
@@ -197,7 +199,7 @@ func (m *pvmDirectMMU) fault(p *guest.Process, d *procData, va arch.VA, write bo
 		m.enter(p, false)
 	}
 
-	e, ok := d.sptUser.Lookup(va)
+	e, ok := d.sptMapper.Lookup(va)
 	if !ok {
 		panic("backend/pvmdirect: mapping missing after validation")
 	}
@@ -256,7 +258,7 @@ func (m *pvmDirectMMU) install(p *guest.Process, d *procData, va arch.VA, ge pag
 	if ge.Flags.Has(pagetable.Writable) {
 		flags |= pagetable.Writable
 	}
-	if _, err := d.sptUser.Map(va, target, flags); err != nil {
+	if _, err := d.sptMapper.Map(va, target, flags); err != nil {
 		panic(err)
 	}
 	if m.nested {
@@ -321,7 +323,7 @@ func (m *pvmDirectMMU) flushRange(p *guest.Process, pages int) {
 	g.Sys.Ctr.Hypercalls.Add(1)
 	m.exit(p)
 	m.applyBatch(p, d)
-	c.Advance(prm.TLBFlushPCID + int64(pages)*prm.FlushPTEScan)
+	c.AdvanceLazy(prm.TLBFlushPCID + int64(pages)*prm.FlushPTEScan)
 	d.tlb.FlushPCID(g.VPID, d.pcidUser)
 	m.enter(p, false)
 }

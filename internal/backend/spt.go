@@ -94,6 +94,7 @@ func (m *sptMMU) register(p *guest.Process) {
 		pcidUser: arch.PCID(p.PID) % arch.MaxPCID,
 	}
 	d.sptUser = newShadowPT(m.tableAlloc())
+	d.sptMapper = d.sptUser.NewMapper()
 	if m.g.Sys.Opt.KPTI {
 		d.sptKernel = newShadowPT(m.tableAlloc())
 	}
@@ -108,6 +109,7 @@ func (m *sptMMU) unregister(p *guest.Process) {
 	// Unshadowing: zap and free the shadow tables under the mmu_lock.
 	prm := m.g.Sys.Prm
 	hold := m.hold(prm.SPTFix) + int64(d.sptUser.CountMapped())*prm.SPTZapLeaf
+	d.sptMapper.Reset() // cached leaf must not outlive Destroy
 	m.mmuLock.With(p.CPU, hold, func() {
 		if err := d.sptUser.Destroy(); err != nil {
 			panic(err)
@@ -205,7 +207,7 @@ func (m *sptMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
 		// its page table (each store traps via onGPTWrite), then the
 		// re-access faults on the shadow table again.
 		g.Sys.Ctr.GuestFaults.Add(1)
-		g.Sys.trace(c, trace.KindFault, "%s pid=%d guest fault va=%#x", g.Name, p.PID, va)
+		g.Sys.trace(c, trace.KindFault, trace.FormGuestFault, g.Name, p.PID, uint64(va), 0, "")
 		m.entry(c, p)
 		if _, err := g.Kern.HandleFault(p, va, write); err != nil {
 			panic(fmt.Sprintf("backend/spt: %v", err))
@@ -215,7 +217,7 @@ func (m *sptMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
 	m.fixSPT(p, d, va)
 	m.entry(c, p)
 
-	e, ok := d.sptUser.Lookup(va)
+	e, ok := d.sptMapper.Lookup(va)
 	if !ok {
 		panic("backend/spt: shadow entry missing after fix")
 	}
@@ -260,10 +262,10 @@ func (m *sptMMU) fixSPT(p *guest.Process, d *procData, va arch.VA) {
 		if ge.Flags.Has(pagetable.Writable) {
 			flags |= pagetable.Writable
 		}
-		if _, err := d.sptUser.Map(va, target, flags); err != nil {
+		if _, err := d.sptMapper.Map(va, target, flags); err != nil {
 			panic(err)
 		}
-		c.Advance(hold)
+		c.AdvanceLazy(hold)
 	})
 	g.Sys.Ctr.ShadowFaults.Add(1)
 	if m.nested {
@@ -311,6 +313,11 @@ func (m *sptMMU) flushRange(p *guest.Process, pages int) {
 	g := m.g
 	c := p.CPU
 	prm := g.Sys.Prm
+	// The live-process count below is shared mutable state read outside
+	// any virtual lock: gate first so the read happens in this vCPU's
+	// virtual-time slot (the exit leg charges lazily and must not move
+	// the slot past concurrent process exits).
+	c.Sync()
 	m.exit(c)
 	kick := prm.ShootdownIPI
 	if m.nested {

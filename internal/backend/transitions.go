@@ -26,11 +26,16 @@ func newL2GPASpace(name string, frames int64) *mem.Allocator {
 func (g *Guest) exitHW(c *vclock.CPU) {
 	g.Sys.Ctr.Switch(metrics.SwitchHW)
 	g.Sys.Ctr.L0Exits.Add(1)
-	g.Sys.trace(c, trace.KindSwitch, "%s vm-exit → L0", g.Name)
-	c.Advance(g.Sys.Prm.SwitchHW)
+	g.Sys.trace(c, trace.KindSwitch, trace.FormVMExit, g.Name, 0, 0, 0, "")
+	c.AdvanceLazy(g.Sys.Prm.SwitchHW)
 }
 
-// entryHW charges a single-level VM entry: hypervisor → guest.
+// entryHW charges a single-level VM entry: hypervisor → guest. The entry
+// gates (eager Advance): guest code always resumes in its vCPU's virtual-time
+// slot, so unordered reads of shared hypervisor state (EPT01 backings, EPT02
+// residency) that follow in the next fault's walk observe exactly the
+// mutations committed before that slot. Exit legs and hypervisor-internal
+// work stay lazy; the entry is the one ordering point per round trip.
 func (g *Guest) entryHW(c *vclock.CPU) {
 	g.Sys.Ctr.Switch(metrics.SwitchHW)
 	c.Advance(g.Sys.Prm.SwitchHW)
@@ -48,8 +53,8 @@ func (g *Guest) l2ToL1(c *vclock.CPU) {
 	ctr.Switch(metrics.SwitchNestedHop)
 	ctr.L0Exits.Add(1)
 	ctr.L1Exits.Add(1)
-	g.Sys.trace(c, trace.KindSwitch, "%s L2→L0→L1 nested trip", g.Name)
-	c.Advance(prm.NestedSwitchOneWay())
+	g.Sys.trace(c, trace.KindSwitch, trace.FormNestedTrip, g.Name, 0, 0, 0, "")
+	c.AdvanceLazy(prm.NestedSwitchOneWay())
 	if g.vmcs12 == nil {
 		return
 	}
@@ -63,12 +68,14 @@ func (g *Guest) l2ToL1(c *vclock.CPU) {
 	if !g.vmcs12.Shadowed {
 		n := int64(prm.VMCSAccessesPerExit)
 		ctr.L0Exits.Add(n)
-		c.Advance(n * (2*prm.SwitchHW + prm.VMCSAccess))
+		c.AdvanceLazy(n * (2*prm.SwitchHW + prm.VMCSAccess))
 	}
 }
 
 // l1ToL2 charges the nested return: L1's VMRESUME traps to L0, which merges
 // VMCS02 and performs the real entry. Two world switches, one L0 exit.
+// Like entryHW, the return into L2 gates so guest code resumes in its
+// virtual-time slot (see entryHW).
 func (g *Guest) l1ToL2(c *vclock.CPU) {
 	ctr := g.Sys.Ctr
 	ctr.Switch(metrics.SwitchNestedHop)
@@ -82,8 +89,8 @@ func (g *Guest) l1ToL2(c *vclock.CPU) {
 func (g *Guest) pvmExit(c *vclock.CPU) {
 	g.Sys.Ctr.Switch(metrics.SwitchPVM)
 	g.Sys.Ctr.L1Exits.Add(1)
-	g.Sys.trace(c, trace.KindSwitch, "%s switcher exit → PVM", g.Name)
-	c.Advance(g.Sys.Prm.SwitchPVM)
+	g.Sys.trace(c, trace.KindSwitch, trace.FormSwitcherExit, g.Name, 0, 0, 0, "")
+	c.AdvanceLazy(g.Sys.Prm.SwitchPVM)
 }
 
 // pvmEntry charges the switcher transition back into the L2 guest (user or
@@ -99,5 +106,5 @@ func (g *Guest) pvmEntry(c *vclock.CPU, p *guest.Process) {
 		d.tlb.FlushVPID(g.VPID)
 		g.Sys.Ctr.TLBFlushes.Add(1)
 	}
-	c.Advance(g.Sys.Prm.SwitchPVM + extra)
+	c.AdvanceLazy(g.Sys.Prm.SwitchPVM + extra)
 }

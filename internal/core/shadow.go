@@ -18,6 +18,13 @@ import (
 type ShadowSpace struct {
 	User   *pagetable.PageTable
 	Kernel *pagetable.PageTable
+
+	// userMapper is a cached-leaf write cursor over User: runs of cold
+	// faults install shadow leaves in ascending VA order, and the cursor
+	// resolves one upper-level walk per 2 MiB span. Zap unmaps in place,
+	// so the cache stays coherent. The owner serializes Install/Lookup
+	// (they run under the shadow locks on the process's vCPU).
+	userMapper pagetable.Mapper
 }
 
 // NewShadowSpace builds both shadow tables from hypervisor memory and maps
@@ -36,6 +43,7 @@ func NewShadowSpace(alloc *mem.Allocator, sw *Switcher) *ShadowSpace {
 		sw.MapInto(u)
 		sw.MapInto(k)
 	}
+	s.userMapper = u.NewMapper()
 	return s
 }
 
@@ -46,7 +54,7 @@ func (s *ShadowSpace) Install(va arch.VA, target arch.PFN, guestFlags pagetable.
 	if guestFlags.Has(pagetable.Writable) {
 		flags |= pagetable.Writable
 	}
-	if _, err := s.User.Map(va, target, flags); err != nil {
+	if _, err := s.userMapper.Map(va, target, flags); err != nil {
 		panic(fmt.Sprintf("core: installing shadow leaf: %v", err))
 	}
 }
@@ -56,11 +64,12 @@ func (s *ShadowSpace) Zap(va arch.VA) bool { return s.User.Unmap(va) }
 
 // Lookup peeks at the user-space shadow leaf.
 func (s *ShadowSpace) Lookup(va arch.VA) (pagetable.Entry, bool) {
-	return s.User.Lookup(va)
+	return s.userMapper.Lookup(va)
 }
 
 // Destroy releases both tables' frames.
 func (s *ShadowSpace) Destroy() error {
+	s.userMapper.Reset() // cached leaf must not outlive User's frames
 	if err := s.User.Destroy(); err != nil {
 		return err
 	}

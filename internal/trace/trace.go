@@ -2,6 +2,12 @@
 // simulator: world switches, faults, hypercalls, syscalls, interrupts, and
 // I/O kicks are recorded with their virtual timestamps so a run's
 // choreography can be inspected event by event (pvmctl trace).
+//
+// Recording is designed to stay off the simulation's critical path: events
+// carry typed payloads (a form id plus a few scalar arguments) instead of
+// pre-formatted strings, are appended to per-vCPU rings so concurrent vCPUs
+// never contend on a shared lock, and are only formatted and merged into a
+// single (time, cpu)-ordered listing when Events is called.
 package trace
 
 import (
@@ -9,6 +15,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind classifies a trace event.
@@ -40,94 +47,258 @@ func (k Kind) String() string {
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
-// Event is one recorded simulator event.
+// Form selects the detail template of a typed event. Formatting happens at
+// Events() time; the recording path never calls fmt.
+type Form uint8
+
+const (
+	// FormRaw events carry a pre-formatted Detail string (Record).
+	FormRaw           Form = iota
+	FormVMExit             // "<label> vm-exit → L0"
+	FormNestedTrip         // "<label> L2→L0→L1 nested trip"
+	FormSwitcherExit       // "<label> switcher exit → PVM"
+	FormGuestFault         // "<label> pid=<pid> guest fault va=<A>"
+	FormSwitcherFault      // "<label> pid=<pid> guest fault va=<A> (switcher-classified)"
+	FormInternalFault      // "<label> pid=<pid> guest-internal fault va=<A>"
+	FormFlush              // "<label> pid=<pid> pages=<A>"
+	FormSyscall            // "<label> pid=<pid> body=<A>ns"
+	FormPrivOp             // "<label> pid=<pid> <Str>"
+	FormInterrupt          // "<label> pid=<pid> vector=<A>"
+	FormIO                 // "<label> pid=<pid> <Str> n=<A> bytes=<B>"
+)
+
+// Event is one recorded simulator event. Typed events (Form != FormRaw)
+// carry their arguments in Label/PID/A/B/Str; Detail is filled in when the
+// event is snapshotted by Events.
 type Event struct {
 	T      int64 // virtual ns at which the event was recorded
 	CPU    int   // vCPU id
 	Kind   Kind
+	Form   Form
+	Label  string // guest name
+	PID    int
+	A      uint64 // va / pages / body / vector / n, per Form
+	B      int64  // bytes (FormIO)
+	Str    string // privop name / device name
 	Detail string
+}
+
+// format renders the typed payload exactly as the historical eager
+// fmt.Sprintf call sites did.
+func (e *Event) format() string {
+	switch e.Form {
+	case FormVMExit:
+		return e.Label + " vm-exit → L0"
+	case FormNestedTrip:
+		return e.Label + " L2→L0→L1 nested trip"
+	case FormSwitcherExit:
+		return e.Label + " switcher exit → PVM"
+	case FormGuestFault:
+		return fmt.Sprintf("%s pid=%d guest fault va=%#x", e.Label, e.PID, e.A)
+	case FormSwitcherFault:
+		return fmt.Sprintf("%s pid=%d guest fault va=%#x (switcher-classified)", e.Label, e.PID, e.A)
+	case FormInternalFault:
+		return fmt.Sprintf("%s pid=%d guest-internal fault va=%#x", e.Label, e.PID, e.A)
+	case FormFlush:
+		return fmt.Sprintf("%s pid=%d pages=%d", e.Label, e.PID, e.A)
+	case FormSyscall:
+		return fmt.Sprintf("%s pid=%d body=%dns", e.Label, e.PID, e.A)
+	case FormPrivOp:
+		return fmt.Sprintf("%s pid=%d %s", e.Label, e.PID, e.Str)
+	case FormInterrupt:
+		return fmt.Sprintf("%s pid=%d vector=%d", e.Label, e.PID, e.A)
+	case FormIO:
+		return fmt.Sprintf("%s pid=%d %s n=%d bytes=%d", e.Label, e.PID, e.Str, e.A, e.B)
+	}
+	return e.Detail
 }
 
 func (e Event) String() string {
 	return fmt.Sprintf("%12d ns  cpu%-3d %-10s %s", e.T, e.CPU, e.Kind, e.Detail)
 }
 
-// Buffer is a bounded ring of events. When full, the oldest events are
-// overwritten and counted as dropped. All storage is allocated once at
-// construction; recording an event never allocates.
-type Buffer struct {
+// ring is one vCPU's bounded event buffer. A vCPU records from a single
+// goroutine, but the ring keeps its own mutex so the Buffer API stays safe
+// for arbitrary callers (and for Events snapshotting concurrently).
+type ring struct {
 	mu      sync.Mutex
-	ring    []Event // full capacity, allocated by NewBuffer
+	ev      []Event // full capacity, allocated on first use
 	next    int     // slot the next event is written to
-	count   int     // live events, <= len(ring)
+	count   int     // live events, <= len(ev)
 	dropped int64
 }
 
-// NewBuffer creates a trace buffer holding up to capacity events
+func (r *ring) add(ev Event, capacity int) {
+	r.mu.Lock()
+	if r.ev == nil {
+		r.ev = make([]Event, capacity)
+	}
+	r.ev[r.next] = ev
+	r.next = (r.next + 1) % len(r.ev)
+	if r.count < len(r.ev) {
+		r.count++
+	} else {
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// appendTo copies the ring's live events, oldest first, onto dst.
+func (r *ring) appendTo(dst []Event) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.count == len(r.ev) {
+		dst = append(dst, r.ev[r.next:]...)
+		return append(dst, r.ev[:r.next]...)
+	}
+	return append(dst, r.ev[:r.count]...)
+}
+
+// Buffer is a bounded trace: each recording vCPU gets its own ring of up to
+// capacity events (so a run with one vCPU retains exactly the same window a
+// single shared ring would). When a ring is full its oldest events are
+// overwritten and counted as dropped. Ring storage is allocated once per
+// vCPU; recording an event never allocates and never formats.
+type Buffer struct {
+	capacity int
+
+	// rings maps vCPU id -> ring. Lookups take the read lock; the write
+	// lock is only needed the first time a vCPU records.
+	mu    sync.RWMutex
+	rings map[int]*ring
+
+	// gen counts Adds; snapshots are invalidated when it moves.
+	gen atomic.Uint64
+
+	// snap is the cached Events() result (sorted, details formatted),
+	// rebuilt at most once per recorded event (see snapshot). rebuilds
+	// counts how many times the sort+format pass actually ran.
+	snapMu   sync.Mutex
+	snap     []Event
+	snapGen  uint64
+	snapOK   bool
+	rebuilds int64
+}
+
+// NewBuffer creates a trace buffer holding up to capacity events per vCPU
 // (capacity <= 0 panics).
 func NewBuffer(capacity int) *Buffer {
 	if capacity <= 0 {
 		panic("trace: capacity must be positive")
 	}
-	return &Buffer{ring: make([]Event, capacity)}
+	return &Buffer{capacity: capacity, rings: make(map[int]*ring)}
+}
+
+func (b *Buffer) ringFor(cpu int) *ring {
+	b.mu.RLock()
+	r := b.rings[cpu]
+	b.mu.RUnlock()
+	if r != nil {
+		return r
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if r = b.rings[cpu]; r == nil {
+		r = &ring{}
+		b.rings[cpu] = r
+	}
+	return r
 }
 
 // Add records one event.
 func (b *Buffer) Add(ev Event) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	b.ring[b.next] = ev
-	b.next = (b.next + 1) % len(b.ring)
-	if b.count < len(b.ring) {
-		b.count++
-	} else {
-		b.dropped++
-	}
+	b.ringFor(ev.CPU).add(ev, b.capacity)
+	b.gen.Add(1)
 }
 
-// Record is a convenience Add.
+// Record is a convenience Add that formats eagerly (FormRaw). The simulator
+// hot paths use typed events instead; this remains for ad-hoc callers.
 func (b *Buffer) Record(t int64, cpu int, kind Kind, format string, args ...any) {
 	b.Add(Event{T: t, CPU: cpu, Kind: kind, Detail: fmt.Sprintf(format, args...)})
 }
 
-// Dropped returns how many events were overwritten.
+// Dropped returns how many events were overwritten across all vCPU rings.
 func (b *Buffer) Dropped() int64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.dropped
-}
-
-// Len returns the number of retained events.
-func (b *Buffer) Len() int {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.count
-}
-
-// Events returns the retained events sorted by (virtual time, cpu).
-func (b *Buffer) Events() []Event {
-	b.mu.Lock()
-	out := make([]Event, b.count)
-	if b.count == len(b.ring) {
-		n := copy(out, b.ring[b.next:])
-		copy(out[n:], b.ring[:b.next])
-	} else {
-		copy(out, b.ring[:b.count])
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var d int64
+	for _, r := range b.rings {
+		r.mu.Lock()
+		d += r.dropped
+		r.mu.Unlock()
 	}
-	b.mu.Unlock()
+	return d
+}
+
+// Len returns the number of retained events across all vCPU rings.
+func (b *Buffer) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var n int
+	for _, r := range b.rings {
+		r.mu.Lock()
+		n += r.count
+		r.mu.Unlock()
+	}
+	return n
+}
+
+// snapshot returns the retained events sorted by (virtual time, cpu) with
+// Detail formatted, rebuilding only when events were recorded since the last
+// call. Callers must not mutate the result.
+func (b *Buffer) snapshot() []Event {
+	b.snapMu.Lock()
+	defer b.snapMu.Unlock()
+	gen := b.gen.Load()
+	if b.snapOK && gen == b.snapGen {
+		return b.snap
+	}
+	b.mu.RLock()
+	cpus := make([]int, 0, len(b.rings))
+	for cpu := range b.rings {
+		cpus = append(cpus, cpu)
+	}
+	sort.Ints(cpus)
+	out := make([]Event, 0, len(cpus)*b.capacity)
+	for _, cpu := range cpus {
+		out = b.rings[cpu].appendTo(out)
+	}
+	b.mu.RUnlock()
+	// Stable sort keyed on (T, CPU): per-ring insertion order — which is
+	// each vCPU's own recording order — breaks exact (T, CPU) ties, the
+	// same order the historical single-ring implementation produced.
 	sort.SliceStable(out, func(i, j int) bool {
 		if out[i].T != out[j].T {
 			return out[i].T < out[j].T
 		}
 		return out[i].CPU < out[j].CPU
 	})
+	for i := range out {
+		if out[i].Form != FormRaw {
+			out[i].Detail = out[i].format()
+		}
+	}
+	b.snap = out
+	b.snapGen = gen
+	b.snapOK = true
+	b.rebuilds++
 	return out
 }
 
-// Filter returns the retained events of one kind, in time order.
+// Events returns the retained events sorted by (virtual time, cpu).
+func (b *Buffer) Events() []Event {
+	snap := b.snapshot()
+	out := make([]Event, len(snap))
+	copy(out, snap)
+	return out
+}
+
+// Filter returns the retained events of one kind, in time order. The sorted
+// snapshot is reused across Filter/CountByKind/Format calls until the next
+// recorded event invalidates it.
 func (b *Buffer) Filter(kind Kind) []Event {
 	var out []Event
-	for _, ev := range b.Events() {
+	for _, ev := range b.snapshot() {
 		if ev.Kind == kind {
 			out = append(out, ev)
 		}
@@ -138,7 +309,7 @@ func (b *Buffer) Filter(kind Kind) []Event {
 // CountByKind tallies retained events per kind.
 func (b *Buffer) CountByKind() map[Kind]int {
 	out := map[Kind]int{}
-	for _, ev := range b.Events() {
+	for _, ev := range b.snapshot() {
 		out[ev.Kind]++
 	}
 	return out
@@ -146,7 +317,7 @@ func (b *Buffer) CountByKind() map[Kind]int {
 
 // Format renders up to limit events (0 = all) as a listing.
 func (b *Buffer) Format(limit int) string {
-	evs := b.Events()
+	evs := b.snapshot()
 	if limit > 0 && len(evs) > limit {
 		evs = evs[:limit]
 	}

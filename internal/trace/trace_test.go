@@ -86,6 +86,89 @@ func TestConcurrentAdd(t *testing.T) {
 	}
 }
 
+// TestSnapshotReuse pins the satellite fix: Filter/CountByKind/Format reuse
+// one sorted snapshot instead of re-sorting the rings on every call.
+func TestSnapshotReuse(t *testing.T) {
+	b := NewBuffer(64)
+	b.Record(3, 0, KindFault, "f")
+	b.Record(1, 1, KindSwitch, "s")
+	for i := 0; i < 10; i++ {
+		b.Filter(KindFault)
+		b.CountByKind()
+		b.Format(0)
+		b.Events()
+	}
+	if b.rebuilds != 1 {
+		t.Fatalf("rebuilds = %d after repeated queries, want 1", b.rebuilds)
+	}
+	b.Record(2, 0, KindFault, "f2")
+	if got := len(b.Filter(KindFault)); got != 2 {
+		t.Fatalf("faults after invalidation = %d, want 2", got)
+	}
+	if b.rebuilds != 2 {
+		t.Fatalf("rebuilds = %d after one new event, want 2", b.rebuilds)
+	}
+}
+
+// TestTypedFormatting checks every deferred-format template against the
+// eager fmt.Sprintf string it replaced.
+func TestTypedFormatting(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Form: FormVMExit, Label: "vm0"}, "vm0 vm-exit → L0"},
+		{Event{Form: FormNestedTrip, Label: "vm0"}, "vm0 L2→L0→L1 nested trip"},
+		{Event{Form: FormSwitcherExit, Label: "vm0"}, "vm0 switcher exit → PVM"},
+		{Event{Form: FormGuestFault, Label: "vm0", PID: 3, A: 0x7f001000}, "vm0 pid=3 guest fault va=0x7f001000"},
+		{Event{Form: FormSwitcherFault, Label: "vm0", PID: 3, A: 0x1000}, "vm0 pid=3 guest fault va=0x1000 (switcher-classified)"},
+		{Event{Form: FormInternalFault, Label: "vm0", PID: 3, A: 0x2000}, "vm0 pid=3 guest-internal fault va=0x2000"},
+		{Event{Form: FormFlush, Label: "vm0", PID: 3, A: 17}, "vm0 pid=3 pages=17"},
+		{Event{Form: FormSyscall, Label: "vm0", PID: 3, A: 480}, "vm0 pid=3 body=480ns"},
+		{Event{Form: FormPrivOp, Label: "vm0", PID: 3, Str: "cr-write"}, "vm0 pid=3 cr-write"},
+		{Event{Form: FormInterrupt, Label: "vm0", PID: 3, A: 32}, "vm0 pid=3 vector=32"},
+		{Event{Form: FormIO, Label: "vm0", PID: 3, Str: "blk", A: 2, B: 8192}, "vm0 pid=3 blk n=2 bytes=8192"},
+	}
+	b := NewBuffer(len(cases))
+	for i, c := range cases {
+		ev := c.ev
+		ev.T = int64(i)
+		b.Add(ev)
+	}
+	evs := b.Events()
+	for i, c := range cases {
+		if evs[i].Detail != c.want {
+			t.Errorf("form %d: detail = %q, want %q", c.ev.Form, evs[i].Detail, c.want)
+		}
+	}
+}
+
+// TestPerCPURings checks that the per-vCPU rings merge into the same
+// (T, CPU)-ordered listing a single shared ring produced, and that each
+// vCPU gets the full retention window.
+func TestPerCPURings(t *testing.T) {
+	b := NewBuffer(4)
+	// CPU 1 overflows its own ring; CPU 0's window is unaffected.
+	for i := 0; i < 6; i++ {
+		b.Record(int64(10+i), 1, KindSwitch, "c1-%d", i)
+	}
+	b.Record(5, 0, KindFault, "c0-early")
+	b.Record(12, 0, KindFault, "c0-mid")
+	if b.Len() != 6 { // 4 retained on cpu1 + 2 on cpu0
+		t.Fatalf("len = %d, want 6", b.Len())
+	}
+	if b.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", b.Dropped())
+	}
+	evs := b.Events()
+	want := []string{"c0-early", "c0-mid", "c1-2", "c1-3", "c1-4", "c1-5"}
+	for i, w := range want {
+		if evs[i].Detail != w {
+			t.Fatalf("evs[%d] = %q, want %q (all: %v)", i, evs[i].Detail, w, evs)
+		}
+	}
+}
+
 func TestKindNames(t *testing.T) {
 	for k := Kind(0); k < numKinds; k++ {
 		if k.String() == "" {

@@ -1,0 +1,227 @@
+package vclock
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Solo-bypass edge cases: the fast path must engage when a vCPU runs alone,
+// disengage across admissions, lock intents, and aborts, and never change a
+// single unit of virtual-time accounting relative to the gated engine.
+
+// TestSoloSingleVCPU: a lone vCPU runs its whole life on the fast path —
+// one grant, exact clock arithmetic across eager, lazy, lock, and compute
+// charges.
+func TestSoloSingleVCPU(t *testing.T) {
+	e := NewEngine()
+	l := e.NewLock("l")
+	e.Go(0, func(c *CPU) {
+		c.Advance(10)
+		c.AdvanceLazy(5)
+		l.With(c, 7, nil)
+		c.Sync()
+		c.Compute(3)
+	})
+	e.Wait()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if g := e.SoloGrants(); g != 1 {
+		t.Fatalf("SoloGrants = %d, want 1", g)
+	}
+	if m := e.Makespan(); m != 25 {
+		t.Fatalf("makespan = %d, want 25", m)
+	}
+	st := l.Stats()
+	if st.Acquisitions != 1 || st.Contended != 0 || st.HeldTime != 7 {
+		t.Fatalf("lock stats = %+v", st)
+	}
+}
+
+// TestSoloReentryAfterPeerDone: admitting a peer revokes the grant; the
+// peer's Done re-enters solo mode for the survivor (SoloGrants increases)
+// and the survivor's subsequent operations still account correctly.
+func TestSoloReentryAfterPeerDone(t *testing.T) {
+	e := NewEngine()
+	b := e.NewCPU(0) // id 0: holds the min clock, runs first
+	a := e.NewCPU(0) // id 1: the survivor
+	if g := e.SoloGrants(); g != 1 {
+		t.Fatalf("SoloGrants after two admissions = %d, want 1", g)
+	}
+	bDone := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		b.Advance(5)
+		b.Done() // leaves a as the sole runnable vCPU: re-grant fires here
+		close(bDone)
+	}()
+	go func() {
+		defer wg.Done()
+		defer a.Done()
+		<-bDone
+		if g := e.SoloGrants(); g != 2 {
+			t.Errorf("SoloGrants after peer Done = %d, want 2", g)
+		}
+		a.Advance(10) // fast path
+	}()
+	wg.Wait()
+	if m := e.Makespan(); m != 10 {
+		t.Fatalf("makespan = %d, want 10", m)
+	}
+	if g := e.SoloGrants(); g != 2 {
+		t.Fatalf("final SoloGrants = %d, want 2", g)
+	}
+}
+
+// TestSoloLockIntentDuringHold: a solo vCPU acquires a lock on the fast
+// path, then a newly admitted peer registers a lock intent (pendingLock)
+// behind it. The admission revokes the grant, the intent is applied inline
+// as the holder's clock crosses the peer's slot, the release hands off
+// deterministically, and contention accounting matches the gated engine's
+// arithmetic exactly.
+func TestSoloLockIntentDuringHold(t *testing.T) {
+	e := NewEngine()
+	l := e.NewLock("mmu")
+	e.Go(0, func(a *CPU) {
+		a.Advance(10)
+		l.Acquire(a) // solo fast acquire at t=10
+		e.Go(15, func(b *CPU) {
+			l.Acquire(b) // not at root: declares intent, parks until handoff
+			b.Advance(1)
+			l.Release(b)
+		})
+		a.Advance(10) // t=20: crossing b's slot applies the intent inline
+		l.Release(a)  // handoff: b resumes at t=20 having waited 5
+		a.Advance(1)
+	})
+	e.Wait()
+	if err := e.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if m := e.Makespan(); m != 21 {
+		t.Fatalf("makespan = %d, want 21", m)
+	}
+	st := l.Stats()
+	if st.Acquisitions != 2 || st.Contended != 1 || st.WaitTime != 5 || st.HeldTime != 11 {
+		t.Fatalf("lock stats = %+v, want 2 acquisitions, 1 contended, wait 5, held 11", st)
+	}
+	// Grant #1 at a's admission (revoked when b is admitted), grant #2 for
+	// whichever vCPU outlives the other. No grant may occur while b sits on
+	// the waiter queue (lockWaiters > 0 pins the engine gated).
+	if g := e.SoloGrants(); g != 2 {
+		t.Fatalf("SoloGrants = %d, want 2", g)
+	}
+}
+
+// TestSoloAbortDrains: a panic on the fast path aborts the run; Wait
+// returns instead of deadlocking and Err carries the panic.
+func TestSoloAbortDrains(t *testing.T) {
+	e := NewEngine()
+	e.Go(0, func(c *CPU) {
+		c.Advance(5) // fast path: grant is standing when the panic fires
+		panic("boom")
+	})
+	e.Wait()
+	if err := e.Err(); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Err = %v, want panic message", err)
+	}
+	if g := e.SoloGrants(); g != 1 {
+		t.Fatalf("SoloGrants = %d, want 1", g)
+	}
+}
+
+// TestSoloAbortDrainsLockWaiter: the panicking vCPU holds a lock another
+// vCPU is queued on; the abort must wake and unwind the waiter too.
+func TestSoloAbortDrainsLockWaiter(t *testing.T) {
+	e := NewEngine()
+	l := e.NewLock("l")
+	e.Go(0, func(a *CPU) {
+		l.Acquire(a) // solo fast acquire
+		e.Go(0, func(b *CPU) {
+			l.Acquire(b) // queues behind a, parks
+			t.Error("waiter acquired a lock whose holder panicked")
+		})
+		a.Advance(1)
+		panic("holder died")
+	})
+	e.Wait()
+	if err := e.Err(); err == nil || !strings.Contains(err.Error(), "holder died") {
+		t.Fatalf("Err = %v, want holder panic", err)
+	}
+}
+
+// TestSetSoloBypassMidRun: the workload disables the bypass mid-flight
+// (revoking its own standing grant), runs gated, and re-enables it; the
+// re-grant engages and accounting is unchanged.
+func TestSetSoloBypassMidRun(t *testing.T) {
+	e := NewEngine()
+	e.Go(0, func(c *CPU) {
+		c.Advance(4) // fast
+		e.SetSoloBypass(false)
+		c.Advance(6) // gated
+		if g := e.SoloGrants(); g != 1 {
+			t.Errorf("SoloGrants while disabled = %d, want 1", g)
+		}
+		e.SetSoloBypass(true) // immediate re-grant: sole runnable vCPU
+		c.Advance(2)          // fast again
+	})
+	e.Wait()
+	if m := e.Makespan(); m != 12 {
+		t.Fatalf("makespan = %d, want 12", m)
+	}
+	if g := e.SoloGrants(); g != 2 {
+		t.Fatalf("SoloGrants = %d, want 2", g)
+	}
+}
+
+// TestSoloBypassEquivalence runs one script — solo phases, a mid-run
+// admission, lock contention, lazy charges, dilated compute — with the
+// bypass on and off, and demands bit-identical virtual-time results.
+func TestSoloBypassEquivalence(t *testing.T) {
+	run := func(bypass bool) (makespan int64, st LockStats, adv int64, grants int64) {
+		e := NewEngine()
+		e.SetCores(1)
+		e.SetSoloBypass(bypass)
+		l := e.NewLock("l")
+		e.Go(0, func(a *CPU) {
+			a.Advance(3)
+			a.AdvanceLazy(4)
+			l.With(a, 5, nil)
+			e.Go(20, func(b *CPU) {
+				l.With(b, 2, nil)
+				b.Compute(6)
+			})
+			a.Advance(30)
+			l.With(a, 1, nil)
+			a.Compute(8)
+			a.Sync()
+			adv = a.Advanced
+		})
+		e.Wait()
+		if err := e.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Makespan(), l.Stats(), adv, e.SoloGrants()
+	}
+
+	mOn, stOn, advOn, gOn := run(true)
+	mOff, stOff, advOff, gOff := run(false)
+	if mOn != mOff {
+		t.Errorf("makespan: bypass on %d, off %d", mOn, mOff)
+	}
+	if stOn != stOff {
+		t.Errorf("lock stats: bypass on %+v, off %+v", stOn, stOff)
+	}
+	if advOn != advOff {
+		t.Errorf("Advanced: bypass on %d, off %d", advOn, advOff)
+	}
+	if gOn == 0 {
+		t.Error("bypass on: solo mode never engaged")
+	}
+	if gOff != 0 {
+		t.Errorf("bypass off: SoloGrants = %d, want 0", gOff)
+	}
+}

@@ -27,7 +27,9 @@ package vclock
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // state of a simulated vCPU with respect to the scheduler.
@@ -60,6 +62,29 @@ type Engine struct {
 	aborted bool
 	err     error
 
+	// solo is the vCPU currently granted the solo fast path, or nil. When
+	// exactly one vCPU is runnable and no lock intents or waiters exist,
+	// that vCPU trivially holds the global minimum clock at every
+	// operation, so Advance/Compute/Sync/Acquire/Release can skip e.mu and
+	// the heap entirely (see CPU.soloFast). Guarded by e.mu; the grant is
+	// published to the vCPU through its soloActive flag and revoked with
+	// exitSoloLocked's handshake.
+	solo *CPU
+
+	// soloOff disables the solo fast path (SetSoloBypass); the tests use
+	// it to pin the bypass against the fully gated engine.
+	soloOff bool
+
+	// soloGrants counts solo-mode entries (diagnostic; lets tests assert
+	// the bypass actually engaged).
+	soloGrants int64
+
+	// lockWaiters counts vCPUs parked on lock waiter queues (state
+	// lockWait). Solo mode is never granted while any exist: a release by
+	// the would-be solo vCPU must go through the engine to hand the lock
+	// off deterministically.
+	lockWaiters int
+
 	wg sync.WaitGroup
 }
 
@@ -71,6 +96,29 @@ func NewEngine() *Engine {
 // SetCores bounds simulated hardware parallelism; see Engine.cores.
 // Must be called before any vCPU starts executing.
 func (e *Engine) SetCores(n int) { e.cores = n }
+
+// SetSoloBypass enables or disables the solo-vCPU fast path (enabled by
+// default). Schedules are bit-identical either way; the differential tests
+// run both settings against the linear reference.
+func (e *Engine) SetSoloBypass(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.soloOff = !on
+	if !on && e.solo != nil {
+		e.exitSoloLocked()
+	}
+	if on {
+		e.maybeEnterSoloLocked()
+	}
+}
+
+// SoloGrants returns how many times the engine entered solo mode
+// (diagnostic, for tests).
+func (e *Engine) SoloGrants() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.soloGrants
+}
 
 // CPU is one simulated virtual CPU (or guest process context). All methods
 // must be called from the single goroutine driving this CPU.
@@ -98,8 +146,77 @@ type CPU struct {
 	// operation.
 	lazy int64
 
+	// soloActive is the engine's published grant of the solo fast path to
+	// this vCPU (set under e.mu, cleared by exitSoloLocked). soloBusy is
+	// the driving goroutine's in-flight marker: a fast operation sets it,
+	// re-checks soloActive, and clears it when the operation completes.
+	// Together they form the revocation handshake — exitSoloLocked clears
+	// soloActive and then spins until soloBusy is clear, so by the time a
+	// revoker (NewCPU admitting a second vCPU, abort) proceeds, no fast
+	// operation is in flight and every later operation takes the gated
+	// path. Sequentially consistent atomics order the fast path's plain
+	// writes (now, lazy, lock fields) before the revoker's reads.
+	soloActive atomic.Bool
+	soloBusy   atomic.Bool
+
 	// Advanced accumulates total virtual time charged to this CPU.
 	Advanced int64
+}
+
+// soloFast attempts to enter a solo fast-path operation. On true the caller
+// owns the engine (no other runnable vCPU exists, none can be admitted until
+// the handshake completes) and must call soloEnd when the operation's plain
+// writes are done. On false the caller must take the gated slow path.
+func (c *CPU) soloFast() bool {
+	// Cheap pre-check: a non-solo vCPU pays one relaxed-cost load per
+	// operation. Only a standing grant pays for the full handshake.
+	if !c.soloActive.Load() {
+		return false
+	}
+	c.soloBusy.Store(true)
+	if c.soloActive.Load() {
+		return true
+	}
+	c.soloBusy.Store(false)
+	return false
+}
+
+// soloEnd completes a solo fast-path operation begun by soloFast.
+func (c *CPU) soloEnd() { c.soloBusy.Store(false) }
+
+// maybeEnterSoloLocked grants the solo fast path to the sole runnable vCPU
+// when the engine state allows it. Caller holds e.mu.
+func (e *Engine) maybeEnterSoloLocked() {
+	if e.soloOff || e.aborted || len(e.heap) != 1 || e.lockWaiters != 0 {
+		return
+	}
+	c := e.heap[0]
+	if c.pendingLock != nil || e.solo == c {
+		return
+	}
+	if e.solo != nil {
+		e.exitSoloLocked()
+	}
+	e.solo = c
+	e.soloGrants++
+	c.soloActive.Store(true)
+}
+
+// exitSoloLocked revokes the solo grant and waits for any in-flight fast
+// operation to finish (see the soloActive/soloBusy handshake). Caller holds
+// e.mu. Revoking from the solo vCPU's own goroutine never spins: soloBusy is
+// only set during a fast operation, and a vCPU cannot be inside one while
+// calling into the engine.
+func (e *Engine) exitSoloLocked() {
+	c := e.solo
+	if c == nil {
+		return
+	}
+	e.solo = nil
+	c.soloActive.Store(false)
+	for c.soloBusy.Load() {
+		runtime.Gosched()
+	}
 }
 
 // cpuLess orders vCPUs by (clock, id) — the engine's scheduling priority.
@@ -175,10 +292,16 @@ func (e *Engine) siftDown(i int) {
 func (e *Engine) NewCPU(start int64) *CPU {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Revoke any solo grant before the new vCPU becomes visible: the
+	// handshake guarantees no fast-path operation is in flight by the time
+	// the heap grows, so the previously-solo vCPU's next operation gates
+	// against the newcomer.
+	e.exitSoloLocked()
 	c := &CPU{id: len(e.cpus), e: e, now: start, st: running, hi: -1, wake: make(chan struct{}, 1)}
 	e.cpus = append(e.cpus, c)
 	e.heapPush(c)
 	e.processRootLocked()
+	e.maybeEnterSoloLocked()
 	return c
 }
 
@@ -227,6 +350,9 @@ type engineAbort struct{ err error }
 func (e *Engine) abort(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Only a running vCPU can panic, so if a solo grant exists the caller
+	// is the solo vCPU itself and the revocation never spins.
+	e.exitSoloLocked()
 	if !e.aborted {
 		e.aborted = true
 		e.err = err
@@ -303,6 +429,7 @@ func (e *Engine) processRootLocked() {
 			r.st = lockWait
 			e.heapRemove(r)
 			l.waiters = append(l.waiters, r)
+			e.lockWaiters++
 			continue
 		}
 		// Grant the free lock at the vCPU's virtual slot.
@@ -372,6 +499,11 @@ func (c *CPU) ID() int { return c.id }
 
 // Now returns the vCPU's current virtual time including pending lazy charges.
 func (c *CPU) Now() int64 {
+	if c.soloFast() {
+		t := c.now + c.lazy
+		c.soloEnd()
+		return t
+	}
 	c.e.mu.Lock()
 	defer c.e.mu.Unlock()
 	return c.now + c.lazy
@@ -401,6 +533,15 @@ func (c *CPU) Advance(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %d", d))
 	}
+	if c.soloFast() {
+		// Sole runnable vCPU: the gate is trivially satisfied and the
+		// one-element heap needs no maintenance.
+		c.now += c.lazy + d
+		c.Advanced += c.lazy + d
+		c.lazy = 0
+		c.soloEnd()
+		return
+	}
 	e := c.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -411,6 +552,7 @@ func (c *CPU) Advance(d int64) {
 	c.Advanced += d
 	e.siftDown(c.hi)
 	e.processRootLocked()
+	e.maybeEnterSoloLocked()
 }
 
 // Compute charges d nanoseconds of CPU-bound work. When more vCPUs are
@@ -419,6 +561,15 @@ func (c *CPU) Advance(d int64) {
 func (c *CPU) Compute(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative compute %d", d))
+	}
+	if c.soloFast() {
+		// One runnable vCPU never exceeds the core budget (cores == 0
+		// means unlimited), so the dilated and undilated charges agree.
+		c.now += c.lazy + d
+		c.Advanced += c.lazy + d
+		c.lazy = 0
+		c.soloEnd()
+		return
 	}
 	e := c.e
 	e.mu.Lock()
@@ -435,6 +586,7 @@ func (c *CPU) Compute(d int64) {
 	c.Advanced += d
 	e.siftDown(c.hi)
 	e.processRootLocked()
+	e.maybeEnterSoloLocked()
 }
 
 // Sync blocks until the vCPU holds the minimum clock without advancing it.
@@ -442,6 +594,15 @@ func (c *CPU) Compute(d int64) {
 // state) into the deterministic schedule. The mutation must complete before
 // the vCPU's next engine operation.
 func (c *CPU) Sync() {
+	if c.soloFast() {
+		if c.lazy != 0 {
+			c.now += c.lazy
+			c.Advanced += c.lazy
+			c.lazy = 0
+		}
+		c.soloEnd()
+		return
+	}
 	e := c.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -449,6 +610,7 @@ func (c *CPU) Sync() {
 	c.flushLazyLocked()
 	e.gateLocked(c)
 	e.processRootLocked()
+	e.maybeEnterSoloLocked()
 }
 
 // Done removes the vCPU from scheduling. Idempotent. Safe to call while the
@@ -457,12 +619,16 @@ func (c *CPU) Done() {
 	e := c.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.solo == c {
+		e.exitSoloLocked()
+	}
 	c.flushLazyLocked()
 	if c.hi >= 0 {
 		e.heapRemove(c)
 	}
 	c.st = done
 	e.processRootLocked()
+	e.maybeEnterSoloLocked()
 }
 
 // Lock is a virtual mutex. Contention is charged in virtual time: a vCPU
@@ -531,12 +697,48 @@ func (l *Lock) Stats() LockStats {
 // the virtual instant c would have acted, and c wakes only when it owns the
 // lock.
 func (l *Lock) Acquire(c *CPU) {
+	if c.soloFast() {
+		// Sole runnable vCPU with no lock waiters: any held lock is held
+		// either by c itself (recursion error) or by a vCPU that already
+		// left the schedule — both are decided without the engine.
+		if l.held {
+			c.soloEnd()
+			if l.holder == c {
+				panic("vclock: recursive acquisition of " + l.name)
+			}
+			// Held by a no-longer-runnable vCPU: fall through to the
+			// gated path, which parks exactly as the reference engine
+			// would.
+		} else {
+			if c.lazy != 0 {
+				c.now += c.lazy
+				c.Advanced += c.lazy
+				c.lazy = 0
+			}
+			if l.freeAt > c.now {
+				l.contended++
+				l.waitTime += l.freeAt - c.now
+				c.now = l.freeAt
+			}
+			l.held = true
+			l.holder = c
+			l.lastAcquire = c.now
+			l.acquisitions++
+			c.soloEnd()
+			return
+		}
+	}
 	e := l.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.checkAbortLocked()
 	if l.held && l.holder == c {
 		panic("vclock: recursive acquisition of " + l.name)
+	}
+	if e.solo == c {
+		// Solo fast path fell back (lock held by a finished vCPU): the
+		// grant is useless while we park as a waiter.
+		e.exitSoloLocked()
 	}
 	c.flushLazyLocked()
 	if e.heap[0] == c {
@@ -546,12 +748,14 @@ func (l *Lock) Acquire(c *CPU) {
 			c.st = lockWait
 			e.heapRemove(c)
 			l.waiters = append(l.waiters, c)
+			e.lockWaiters++
 			e.processRootLocked()
 			for l.holder != c {
 				e.sleepLocked(c)
 			}
 			// Handoff complete: Release already updated our clock and the
 			// lock bookkeeping.
+			e.maybeEnterSoloLocked()
 			return
 		}
 		if l.freeAt > c.now {
@@ -567,6 +771,7 @@ func (l *Lock) Acquire(c *CPU) {
 		l.lastAcquire = c.now
 		l.acquisitions++
 		e.processRootLocked()
+		e.maybeEnterSoloLocked()
 		return
 	}
 	// Not at our slot yet: declare the intent and park until the handoff
@@ -576,6 +781,7 @@ func (l *Lock) Acquire(c *CPU) {
 	for l.holder != c {
 		e.sleepLocked(c)
 	}
+	e.maybeEnterSoloLocked()
 }
 
 // Release drops the lock, recording held time, and deterministically hands it
@@ -587,6 +793,25 @@ func (l *Lock) Acquire(c *CPU) {
 // time the handoff is decided, so the queue contents — and therefore the
 // handoff order — are a pure function of virtual time.
 func (l *Lock) Release(c *CPU) {
+	if c.soloFast() {
+		if !l.held || l.holder != c {
+			c.soloEnd()
+			panic("vclock: release of " + l.name + " by non-holder")
+		}
+		// No waiter can exist (solo mode requires an empty engine-wide
+		// waiter count, and no other vCPU ran since it was granted).
+		if c.lazy != 0 {
+			c.now += c.lazy
+			c.Advanced += c.lazy
+			c.lazy = 0
+		}
+		l.heldTime += c.now - l.lastAcquire
+		l.freeAt = c.now
+		l.held = false
+		l.holder = nil
+		c.soloEnd()
+		return
+	}
 	e := l.e
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -601,6 +826,7 @@ func (l *Lock) Release(c *CPU) {
 		l.held = false
 		l.holder = nil
 		e.processRootLocked()
+		e.maybeEnterSoloLocked()
 		return
 	}
 	// Deterministic handoff: smallest (now, id) waiter wins.
@@ -612,6 +838,7 @@ func (l *Lock) Release(c *CPU) {
 	}
 	w := l.waiters[best]
 	l.waiters = append(l.waiters[:best], l.waiters[best+1:]...)
+	e.lockWaiters--
 	l.contended++
 	if w.now < l.freeAt {
 		l.waitTime += l.freeAt - w.now
@@ -643,7 +870,7 @@ func (l *Lock) With(c *CPU, hold int64, fn func()) {
 		fn()
 	}
 	if hold > 0 {
-		c.Advance(hold)
+		c.AdvanceLazy(hold)
 	}
 	l.Release(c)
 }
