@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test check bench bench-diff microbench artifacts
+.PHONY: all build test check fuzz bench bench-diff microbench artifacts
 
 all: build
 
@@ -11,12 +11,20 @@ test:
 	$(GO) test ./...
 
 # check is the PR gate: full build, vet, and the concurrency-sensitive
-# packages (the engine and the parallel experiment runner) under the race
-# detector.
+# packages (the engine, the parallel experiment runner, and the metamorphic
+# harness) under the race detector. -short selects the reduced experiment
+# grids and fuzz corpus so the race-instrumented pass stays within CI
+# budgets even at -count=2; the full grids run race-free via `make test`.
 check:
 	$(GO) build ./...
 	$(GO) vet ./...
-	$(GO) test -race ./internal/vclock/... ./internal/experiments/...
+	$(GO) test -race -short ./internal/vclock/... ./internal/experiments/... ./internal/check/...
+
+# fuzz sweeps the full metamorphic corpus (9 variants per seed) plus the
+# backend differential grids without the race detector's slowdown.
+fuzz:
+	$(GO) test -count=1 -run 'TestMetamorphicCorpus|TestSoloBypassDifferential' ./internal/check/
+	$(GO) test -count=1 -run 'TestRangedAccessEquivalence' ./internal/backend/
 
 # bench regenerates BENCH_pr3.json: the TouchRange and ColdFault
 # ranged-vs-per-page grids across all five MMU backends plus the serial

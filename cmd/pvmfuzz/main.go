@@ -1,0 +1,94 @@
+// Command pvmfuzz drives the deterministic metamorphic harness in
+// internal/check from the command line.
+//
+// Replay one seed (the failure-reproduction workflow):
+//
+//	pvmfuzz -seed 1234
+//
+// runs the full oracle for that seed — baseline twice (determinism), then
+// every fast-path toggle and fault-injection variant (bit-identical
+// observables) — and prints the scenario label and baseline trace digest.
+// The same seed always prints the same digest.
+//
+// Corpus mode (the default) sweeps a seed range:
+//
+//	pvmfuzz -start 1 -n 200
+//
+// On failure the offending seed is printed (rerun it with -seed to
+// reproduce) and, with -trace FILE, the baseline replay's trace listing is
+// written to FILE as an artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/check"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", -1, "verify a single seed and print its label and trace digest")
+		start     = flag.Uint64("start", 1, "corpus mode: first seed")
+		n         = flag.Int("n", 200, "corpus mode: number of seeds")
+		tracePath = flag.String("trace", "", "on failure, write the failing seed's baseline trace listing to this file")
+		verbose   = flag.Bool("v", false, "corpus mode: print every seed's scenario label")
+	)
+	flag.Parse()
+
+	if *seed >= 0 {
+		if !verifySeed(uint64(*seed), *tracePath, true) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("pvmfuzz: corpus seeds %d..%d, %d variants each\n",
+		*start, *start+uint64(*n)-1, len(check.Variants()))
+	for i := 0; i < *n; i++ {
+		s := *start + uint64(i)
+		if !verifySeed(s, *tracePath, *verbose) {
+			fmt.Printf("pvmfuzz: reproduce with: pvmfuzz -seed %d\n", s)
+			os.Exit(1)
+		}
+		if !*verbose && (i+1)%25 == 0 {
+			fmt.Printf("pvmfuzz: %d/%d seeds OK\n", i+1, *n)
+		}
+	}
+	fmt.Printf("pvmfuzz: all %d seeds OK\n", *n)
+}
+
+// verifySeed runs the full oracle for one seed, reporting the result. On
+// failure it optionally writes the baseline trace listing to tracePath.
+func verifySeed(seed uint64, tracePath string, report bool) bool {
+	p := check.Generate(seed)
+	if err := check.Verify(seed); err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL seed=%d (%s): %v\n", seed, p.Label, err)
+		if tracePath != "" {
+			dumpTrace(seed, tracePath)
+		}
+		return false
+	}
+	if report {
+		_, digest, _ := check.ReplayTrace(seed)
+		fmt.Printf("seed %d: OK  %s  digest=%#x\n", seed, p.Label, digest)
+	}
+	return true
+}
+
+// dumpTrace writes the failing seed's baseline replay trace to path. The
+// listing is best-effort: if the baseline itself aborts, whatever the ring
+// retained is still written, with the abort error in the header.
+func dumpTrace(seed uint64, path string) {
+	listing, digest, err := check.ReplayTrace(seed)
+	header := fmt.Sprintf("# pvmfuzz replay trace: seed=%d digest=%#x\n", seed, digest)
+	if err != nil {
+		header += fmt.Sprintf("# baseline replay error: %v\n", err)
+	}
+	if werr := os.WriteFile(path, []byte(header+listing), 0o644); werr != nil {
+		fmt.Fprintf(os.Stderr, "pvmfuzz: writing trace artifact: %v\n", werr)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "pvmfuzz: baseline trace written to %s\n", path)
+}

@@ -288,6 +288,10 @@ type mmuStrategy interface {
 	accessRange(p *guest.Process, va arch.VA, pages int, write bool)
 	releasePage(p *guest.Process, va arch.VA, gpa arch.PFN)
 	flushRange(p *guest.Process, pages int)
+
+	// audit checks the strategy's structural invariants for one process
+	// (see audit.go). Pure reads only: no costs, no stats, no caches.
+	audit(p *guest.Process) error
 }
 
 // cpuStrategy is the per-configuration CPU/interrupt/I/O choreography.
@@ -396,15 +400,23 @@ func (g *Guest) Engine() *vclock.Engine { return g.Sys.Eng }
 func (g *Guest) KPTI() bool { return g.Sys.Opt.KPTI }
 
 // RegisterProcess implements guest.Platform.
+//
+// The live-process count is shared mutable state observed by concurrent
+// vCPUs (it sizes TLB-shootdown fan-out), so the mutation gates first:
+// its effective virtual instant is then the gate's, identical under fused
+// and eager charging, rather than wherever the caller's lazy stretch
+// happened to leave the clock.
 func (g *Guest) RegisterProcess(p *guest.Process) {
+	p.CPU.Sync()
 	g.procMu.Lock()
 	g.liveProcs++
 	g.procMu.Unlock()
 	g.mmu.register(p)
 }
 
-// UnregisterProcess implements guest.Platform.
+// UnregisterProcess implements guest.Platform. Gates like RegisterProcess.
 func (g *Guest) UnregisterProcess(p *guest.Process) {
+	p.CPU.Sync()
 	g.procMu.Lock()
 	g.liveProcs--
 	g.procMu.Unlock()
@@ -478,6 +490,10 @@ func (g *Guest) submitIO(p *guest.Process, dev *virtio.Device, n int, bytes int6
 		return
 	}
 	g.Sys.trace(p.CPU, trace.KindIO, trace.FormIO, g.Name, p.PID, uint64(n), bytes, dev.String())
+	// The virtio ring is shared by every vCPU of the guest and its batching
+	// state feeds service times: gate so ring order is a function of
+	// virtual time, not of goroutine interleaving.
+	p.CPU.Sync()
 	b := dev.Submit(n, bytes)
 	g.Sys.Ctr.IORequests.Add(int64(n))
 	for i := int64(0); i < b.Kicks; i++ {

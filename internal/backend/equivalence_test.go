@@ -1,21 +1,21 @@
-package backend
+package backend_test
 
 import (
 	"fmt"
-	"reflect"
 	"testing"
 
 	"repro/internal/arch"
+	"repro/internal/backend"
+	"repro/internal/check"
 	"repro/internal/guest"
-	"repro/internal/metrics"
-	"repro/internal/trace"
 	"repro/internal/vclock"
 )
 
 // The ranged access fast path (Guest.AccessRange) must be observationally
-// identical to the per-page loop it replaces: same final virtual clock, same
-// metrics snapshot, same trace-event counts. These tests run every backend ×
-// workload cell both ways and diff the complete observable state.
+// identical to the per-page loop it replaces. These tests run every backend ×
+// workload cell both ways and hand the outcomes to the shared oracle in
+// internal/check, which compares final clocks, makespan, the full metrics
+// snapshot, and the trace-ring digest bit for bit.
 
 // touchFn abstracts over TouchRange (batched) and TouchRangeByPage
 // (per-page reference).
@@ -86,70 +86,43 @@ var equivWorkloads = []struct {
 	}},
 }
 
-// observation is the complete observable outcome of a run.
-type observation struct {
-	makespan int64
-	elapsed  int64 // the workload vCPU's final clock
-	ctr      metrics.Snapshot
-	events   int
-	dropped  int64
-	kinds    map[trace.Kind]int
-}
-
-func observe(t *testing.T, cfg Config, opt Options, body func(p *guest.Process, touch touchFn), touch touchFn) observation {
+func observe(t *testing.T, cfg backend.Config, opt backend.Options, body func(p *guest.Process, touch touchFn), touch touchFn) check.Observation {
 	t.Helper()
 	opt.TraceEvents = 1 << 15
-	s := NewSystem(cfg, opt)
+	s := backend.NewSystem(cfg, opt)
 	g, err := s.NewGuest("g0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var elapsed int64
 	s.Eng.Go(0, func(c *vclock.CPU) {
 		p, err := g.Kern.StartProcess(c, 8)
 		if err != nil {
 			panic(err)
 		}
 		body(p, touch)
-		elapsed = c.Now()
+		if err := p.Exit(); err != nil {
+			panic(err)
+		}
 	})
 	s.Eng.Wait()
-	return observation{
-		makespan: s.Eng.Makespan(),
-		elapsed:  elapsed,
-		ctr:      s.Ctr.Snapshot(),
-		events:   s.Tracer.Len(),
-		dropped:  s.Tracer.Dropped(),
-		kinds:    s.Tracer.CountByKind(),
+	if err := s.Eng.Err(); err != nil {
+		t.Fatal(err)
 	}
-}
-
-func diffObservations(t *testing.T, cell string, ranged, byPage observation) {
-	t.Helper()
-	if ranged.makespan != byPage.makespan || ranged.elapsed != byPage.elapsed {
-		t.Errorf("%s: vclock diverged: ranged (makespan %d, elapsed %d) vs per-page (makespan %d, elapsed %d)",
-			cell, ranged.makespan, ranged.elapsed, byPage.makespan, byPage.elapsed)
-	}
-	if !reflect.DeepEqual(ranged.ctr, byPage.ctr) {
-		t.Errorf("%s: metrics diverged:\nranged:   %+v\nper-page: %+v", cell, ranged.ctr, byPage.ctr)
-	}
-	if ranged.events != byPage.events || ranged.dropped != byPage.dropped ||
-		!reflect.DeepEqual(ranged.kinds, byPage.kinds) {
-		t.Errorf("%s: traces diverged: ranged %d events (%d dropped) %v vs per-page %d events (%d dropped) %v",
-			cell, ranged.events, ranged.dropped, ranged.kinds, byPage.events, byPage.dropped, byPage.kinds)
-	}
+	return check.Capture(s)
 }
 
 // TestRangedAccessEquivalence runs every config × workload cell with the
 // batched and per-page touch paths and requires bit-identical outcomes.
 func TestRangedAccessEquivalence(t *testing.T) {
-	for _, cfg := range Configs() {
+	for _, cfg := range backend.Configs() {
 		for _, wl := range equivWorkloads {
 			cell := fmt.Sprintf("%v/%s", cfg, wl.name)
 			t.Run(cell, func(t *testing.T) {
-				ranged := observe(t, cfg, DefaultOptions(), wl.body, touchRanged)
-				byPage := observe(t, cfg, DefaultOptions(), wl.body, touchByPage)
-				diffObservations(t, cell, ranged, byPage)
+				ranged := observe(t, cfg, backend.DefaultOptions(), wl.body, touchRanged)
+				byPage := observe(t, cfg, backend.DefaultOptions(), wl.body, touchByPage)
+				if d := check.Diff(ranged, byPage); d != "" {
+					t.Errorf("%s: ranged vs per-page diverged: %s", cell, d)
+				}
 			})
 		}
 	}
@@ -160,24 +133,24 @@ func TestRangedAccessEquivalence(t *testing.T) {
 // MMU), prefault off, PCID mapping off, collaborative sync, switcher fault
 // classification, coarse locking.
 func TestRangedAccessEquivalenceAblations(t *testing.T) {
-	mk := func(mut func(o *Options)) Options {
-		o := DefaultOptions()
+	mk := func(mut func(o *backend.Options)) backend.Options {
+		o := backend.DefaultOptions()
 		mut(&o)
 		return o
 	}
 	variants := []struct {
 		name string
-		cfg  Config
-		opt  Options
+		cfg  backend.Config
+		opt  backend.Options
 	}{
-		{"pvm-direct-bm", PVMBM, mk(func(o *Options) { o.DirectPaging = true })},
-		{"pvm-direct-nst", PVMNST, mk(func(o *Options) { o.DirectPaging = true })},
-		{"no-prefault", PVMNST, mk(func(o *Options) { o.Prefault = false })},
-		{"no-pcidmap", PVMNST, mk(func(o *Options) { o.PCIDMap = false })},
-		{"collab-sync", PVMNST, mk(func(o *Options) { o.CollaborativeSync = true })},
-		{"switcher-classify", PVMNST, mk(func(o *Options) { o.SwitcherFaultClassify = true })},
-		{"coarse-lock", PVMNST, mk(func(o *Options) { o.FineLock = false })},
-		{"no-kpti", KVMSPTBM, mk(func(o *Options) { o.KPTI = false })},
+		{"pvm-direct-bm", backend.PVMBM, mk(func(o *backend.Options) { o.DirectPaging = true })},
+		{"pvm-direct-nst", backend.PVMNST, mk(func(o *backend.Options) { o.DirectPaging = true })},
+		{"no-prefault", backend.PVMNST, mk(func(o *backend.Options) { o.Prefault = false })},
+		{"no-pcidmap", backend.PVMNST, mk(func(o *backend.Options) { o.PCIDMap = false })},
+		{"collab-sync", backend.PVMNST, mk(func(o *backend.Options) { o.CollaborativeSync = true })},
+		{"switcher-classify", backend.PVMNST, mk(func(o *backend.Options) { o.SwitcherFaultClassify = true })},
+		{"coarse-lock", backend.PVMNST, mk(func(o *backend.Options) { o.FineLock = false })},
+		{"no-kpti", backend.KVMSPTBM, mk(func(o *backend.Options) { o.KPTI = false })},
 	}
 	for _, v := range variants {
 		for _, wl := range equivWorkloads {
@@ -185,7 +158,9 @@ func TestRangedAccessEquivalenceAblations(t *testing.T) {
 			t.Run(cell, func(t *testing.T) {
 				ranged := observe(t, v.cfg, v.opt, wl.body, touchRanged)
 				byPage := observe(t, v.cfg, v.opt, wl.body, touchByPage)
-				diffObservations(t, cell, ranged, byPage)
+				if d := check.Diff(ranged, byPage); d != "" {
+					t.Errorf("%s: ranged vs per-page diverged: %s", cell, d)
+				}
 			})
 		}
 	}
@@ -195,14 +170,15 @@ func TestRangedAccessEquivalenceAblations(t *testing.T) {
 // concurrent vCPUs, where lock hold times and shootdowns couple the clocks:
 // any divergence in one vCPU's charging would shift the global makespan.
 func TestRangedAccessEquivalenceMultiProc(t *testing.T) {
-	run := func(cfg Config, touch touchFn) observation {
-		opt := DefaultOptions()
+	run := func(cfg backend.Config, touch touchFn) check.Observation {
+		opt := backend.DefaultOptions()
 		opt.TraceEvents = 1 << 15
-		s := NewSystem(cfg, opt)
+		s := backend.NewSystem(cfg, opt)
 		g, err := s.NewGuest("g0")
 		if err != nil {
 			t.Fatal(err)
 		}
+		release := s.Eng.Hold()
 		for i := 0; i < 4; i++ {
 			g.Run(0, 8, func(p *guest.Process) {
 				for round := 0; round < 3; round++ {
@@ -215,18 +191,20 @@ func TestRangedAccessEquivalenceMultiProc(t *testing.T) {
 				}
 			})
 		}
+		release()
 		s.Eng.Wait()
-		return observation{
-			makespan: s.Eng.Makespan(),
-			ctr:      s.Ctr.Snapshot(),
-			events:   s.Tracer.Len(),
-			dropped:  s.Tracer.Dropped(),
-			kinds:    s.Tracer.CountByKind(),
+		if err := s.Eng.Err(); err != nil {
+			t.Fatal(err)
 		}
+		return check.Capture(s)
 	}
-	for _, cfg := range Configs() {
+	for _, cfg := range backend.Configs() {
 		t.Run(cfg.String(), func(t *testing.T) {
-			diffObservations(t, cfg.String(), run(cfg, touchRanged), run(cfg, touchByPage))
+			ranged := run(cfg, touchRanged)
+			byPage := run(cfg, touchByPage)
+			if d := check.Diff(ranged, byPage); d != "" {
+				t.Errorf("%v: ranged vs per-page diverged: %s", cfg, d)
+			}
 		})
 	}
 }

@@ -417,12 +417,19 @@ func (m *pvmMMU) flushRange(p *guest.Process, pages int) {
 	prm := g.Sys.Prm
 	d := pd(p)
 	g.Sys.Ctr.Hypercalls.Add(1) // flush_tlb_range hypercall
+	var remote int64
 	if !g.Sys.Opt.PCIDMap {
-		// The shootdown branch below reads the live-process count —
-		// shared mutable state outside any virtual lock. Gate before
-		// the (lazily charged) exit leg so the read lands in this
-		// vCPU's virtual-time slot.
+		// The shootdown branch reads the live-process count — shared
+		// mutable state outside any virtual lock. Gate, then read
+		// immediately — before any charge — so the read lands at the
+		// gate's virtual instant. (Interposing even a lazy charge would
+		// break the eager-charging mode, where every charge is itself a
+		// gate that can admit a concurrent fork or exit.)
 		c.Sync()
+		remote = int64(g.LiveProcs() - 1)
+		if remote < 0 {
+			remote = 0
+		}
 	}
 	m.exit(p)
 	m.syncReplay(p, d)
@@ -430,10 +437,6 @@ func (m *pvmMMU) flushRange(p *guest.Process, pages int) {
 		c.AdvanceLazy(prm.TLBFlushPCID + int64(pages)*prm.FlushPTEScan)
 		d.tlb.FlushPCID(g.VPID, d.pcidUser)
 	} else {
-		remote := int64(g.LiveProcs() - 1)
-		if remote < 0 {
-			remote = 0
-		}
 		lock := m.locks.Coarse
 		if m.locks.Mode == core.FineLock {
 			lock = m.locks.Meta

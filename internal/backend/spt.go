@@ -313,19 +313,20 @@ func (m *sptMMU) flushRange(p *guest.Process, pages int) {
 	g := m.g
 	c := p.CPU
 	prm := g.Sys.Prm
-	// The live-process count below is shared mutable state read outside
-	// any virtual lock: gate first so the read happens in this vCPU's
-	// virtual-time slot (the exit leg charges lazily and must not move
-	// the slot past concurrent process exits).
+	// The live-process count is shared mutable state read outside any
+	// virtual lock: gate, then read immediately — before any charge — so
+	// the read happens at the gate's virtual instant. (Interposing even a
+	// lazy charge would break the eager-charging mode, where every charge
+	// is itself a gate that can admit a concurrent fork or exit.)
 	c.Sync()
+	remote := int64(g.LiveProcs() - 1)
+	if remote < 0 {
+		remote = 0
+	}
 	m.exit(c)
 	kick := prm.ShootdownIPI
 	if m.nested {
 		kick = prm.NestedSwitchOneWay()
-	}
-	remote := int64(g.LiveProcs() - 1)
-	if remote < 0 {
-		remote = 0
 	}
 	hold := m.hold(int64(pages)*prm.FlushPTEScan) + remote*kick
 	m.mmuLock.With(c, hold, func() {

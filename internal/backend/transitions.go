@@ -26,6 +26,7 @@ func newL2GPASpace(name string, frames int64) *mem.Allocator {
 func (g *Guest) exitHW(c *vclock.CPU) {
 	g.Sys.Ctr.Switch(metrics.SwitchHW)
 	g.Sys.Ctr.L0Exits.Add(1)
+	g.Sys.Ctr.WorldExits.Add(1)
 	g.Sys.trace(c, trace.KindSwitch, trace.FormVMExit, g.Name, 0, 0, 0, "")
 	c.AdvanceLazy(g.Sys.Prm.SwitchHW)
 }
@@ -38,6 +39,7 @@ func (g *Guest) exitHW(c *vclock.CPU) {
 // work stay lazy; the entry is the one ordering point per round trip.
 func (g *Guest) entryHW(c *vclock.CPU) {
 	g.Sys.Ctr.Switch(metrics.SwitchHW)
+	g.Sys.Ctr.WorldEntries.Add(1)
 	c.Advance(g.Sys.Prm.SwitchHW)
 }
 
@@ -53,6 +55,7 @@ func (g *Guest) l2ToL1(c *vclock.CPU) {
 	ctr.Switch(metrics.SwitchNestedHop)
 	ctr.L0Exits.Add(1)
 	ctr.L1Exits.Add(1)
+	ctr.WorldExits.Add(1)
 	g.Sys.trace(c, trace.KindSwitch, trace.FormNestedTrip, g.Name, 0, 0, 0, "")
 	c.AdvanceLazy(prm.NestedSwitchOneWay())
 	if g.vmcs12 == nil {
@@ -81,6 +84,7 @@ func (g *Guest) l1ToL2(c *vclock.CPU) {
 	ctr.Switch(metrics.SwitchNestedHop)
 	ctr.Switch(metrics.SwitchNestedHop)
 	ctr.L0Exits.Add(1)
+	ctr.WorldEntries.Add(1)
 	c.Advance(g.Sys.Prm.NestedReturnOneWay())
 }
 
@@ -89,6 +93,7 @@ func (g *Guest) l1ToL2(c *vclock.CPU) {
 func (g *Guest) pvmExit(c *vclock.CPU) {
 	g.Sys.Ctr.Switch(metrics.SwitchPVM)
 	g.Sys.Ctr.L1Exits.Add(1)
+	g.Sys.Ctr.WorldExits.Add(1)
 	g.Sys.trace(c, trace.KindSwitch, trace.FormSwitcherExit, g.Name, 0, 0, 0, "")
 	c.AdvanceLazy(g.Sys.Prm.SwitchPVM)
 }
@@ -99,6 +104,7 @@ func (g *Guest) pvmExit(c *vclock.CPU) {
 // here and the simulated TLB is actually flushed.
 func (g *Guest) pvmEntry(c *vclock.CPU, p *guest.Process) {
 	g.Sys.Ctr.Switch(metrics.SwitchPVM)
+	g.Sys.Ctr.WorldEntries.Add(1)
 	d := pd(p)
 	extra := int64(0)
 	if !g.Sys.Opt.PCIDMap {

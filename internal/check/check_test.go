@@ -1,0 +1,136 @@
+package check
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// corpusSize reports how many seeds the metamorphic corpus test sweeps.
+// The full corpus (acceptance criterion: ≥200 seeds, which at the
+// generator's backend weights covers all five MMU strategies many times
+// over) runs in normal mode; -short keeps a fast smoke slice for the
+// race-instrumented CI lanes.
+func corpusSize(t *testing.T) int {
+	if testing.Short() {
+		return 25
+	}
+	return 200
+}
+
+// TestMetamorphicCorpus is the harness's main theorem: for every seed, the
+// baseline replay is deterministic and every fast-path toggle and injected
+// fault reproduces its observables bit-identically.
+//
+// Not parallel: the cursor-bypass variant flips a process-global pagetable
+// flag, so variant runs must never overlap.
+func TestMetamorphicCorpus(t *testing.T) {
+	n := corpusSize(t)
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		if err := Verify(seed); err != nil {
+			t.Fatalf("reproduce with: go run ./cmd/pvmfuzz -seed %d\n%v", seed, err)
+		}
+	}
+}
+
+// TestSoloBypassDifferential is the solo on/off differential (formerly an
+// engine-level script in internal/vclock): for each seed, the solo-off run
+// must grant solo zero times yet reproduce the baseline's observables bit
+// for bit, and at least one baseline in the sweep must actually engage solo
+// so the bypass path is known to be exercised.
+func TestSoloBypassDifferential(t *testing.T) {
+	engaged := false
+	for seed := uint64(1); seed <= 32; seed++ {
+		p := Generate(seed)
+		base, err := Run(p, Variant{Name: "baseline"})
+		if err != nil {
+			t.Fatalf("seed %d baseline: %v", seed, err)
+		}
+		off, err := Run(p, Variant{Name: "solo-off", SoloOff: true})
+		if err != nil {
+			t.Fatalf("seed %d solo-off: %v", seed, err)
+		}
+		if off.SoloGrants != 0 {
+			t.Fatalf("seed %d: solo granted %d times with the bypass disabled", seed, off.SoloGrants)
+		}
+		if d := Diff(base, off); d != "" {
+			t.Fatalf("seed %d: solo bypass changed observables: %s", seed, d)
+		}
+		if base.SoloGrants > 0 {
+			engaged = true
+		}
+	}
+	if !engaged {
+		t.Fatal("no baseline in seeds 1..32 engaged solo mode; differential is vacuous")
+	}
+}
+
+// TestGeneratorReplayable pins seed→Program determinism: the whole scenario
+// must be a pure function of the seed, or replaying a failure is hopeless.
+func TestGeneratorReplayable(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 42, 104, 127, 156, 1 << 40} {
+		a, b := Generate(seed), Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: two generations differ", seed)
+		}
+	}
+	if reflect.DeepEqual(Generate(1).Workers, Generate(2).Workers) {
+		t.Fatalf("seeds 1 and 2 generated identical workloads")
+	}
+}
+
+// TestGeneratorCoversBackends keeps the seed range honest: a modest prefix
+// of the corpus must exercise every deployment configuration the generator
+// can emit, so "the corpus passes" means "all five MMU strategies pass".
+func TestGeneratorCoversBackends(t *testing.T) {
+	seen := map[string]bool{}
+	for seed := uint64(1); seed <= 64; seed++ {
+		label := Generate(seed).Label
+		seen[label[:strings.IndexByte(label, '/')]] = true
+	}
+	for _, b := range backendChoices {
+		if !seen[b.name] {
+			t.Errorf("no seed in 1..64 generated backend %s", b.name)
+		}
+	}
+}
+
+// TestReplayTraceDeterministic pins the failure-artifact path: the same
+// seed must yield byte-identical listings and digests across calls.
+func TestReplayTraceDeterministic(t *testing.T) {
+	l1, d1, err := ReplayTrace(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, d2, err := ReplayTrace(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || l1 != l2 {
+		t.Fatalf("trace replay not deterministic: digests %#x vs %#x", d1, d2)
+	}
+	if len(l1) == 0 || d1 == 0 {
+		t.Fatalf("empty replay artifact: %d bytes, digest %#x", len(l1), d1)
+	}
+}
+
+// TestDiffReportsDivergence exercises the oracle's comparison itself.
+func TestDiffReportsDivergence(t *testing.T) {
+	a, err := Run(Generate(5), Variant{Name: "baseline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(a, a); d != "" {
+		t.Fatalf("self-diff nonempty: %s", d)
+	}
+	b := a
+	b.Makespan++
+	if d := Diff(a, b); d == "" {
+		t.Fatal("makespan divergence not reported")
+	}
+	c := a
+	c.Digest ^= 1
+	if d := Diff(a, c); d == "" {
+		t.Fatal("digest divergence not reported")
+	}
+}

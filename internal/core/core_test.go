@@ -172,3 +172,22 @@ func TestDirectSwitchAccounting(t *testing.T) {
 		t.Fatal("nil vCPU state")
 	}
 }
+
+func TestSwitcherNotMappedInFreshTable(t *testing.T) {
+	alloc := mem.NewAllocator("hv", 0, 0)
+	sw := NewSwitcher(alloc)
+	empty, err := pagetable.New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.MappedIn(empty) {
+		t.Error("switcher reported mapped in a table it was never mapped into")
+	}
+	s := NewShadowSpace(alloc, nil)
+	if s.Zap(0x9000) {
+		t.Error("zap of never-installed entry reported success")
+	}
+	if s.MappedLeaves() != 0 {
+		t.Errorf("fresh space has %d mapped leaves", s.MappedLeaves())
+	}
+}

@@ -29,8 +29,27 @@ func TestUnknownExperiment(t *testing.T) {
 	}
 }
 
-func TestEveryExperimentRunsAtQuickScale(t *testing.T) {
+// testScale is QuickScale, shrunk further under -short so the full-grid
+// sweep fits the race-instrumented CI lanes (QuickScale × all experiments
+// is ~100s under -race; the short grid is a few seconds).
+func testScale(t *testing.T) Scale {
 	sc := QuickScale()
+	if testing.Short() {
+		sc.MicroIters = 4
+		sc.LMIters = 2
+		sc.AppRounds = 1
+		sc.CloudRounds = 1
+		sc.CloudDatasetPages = 48
+		sc.DensityLevels = []int{2}
+		sc.Fig10Procs = []int{1, 2}
+		sc.Fig4Procs = []int{1, 2}
+		sc.Fig11Concurrency = []int{1, 2}
+	}
+	return sc
+}
+
+func TestEveryExperimentRunsAtQuickScale(t *testing.T) {
+	sc := testScale(t)
 	for _, e := range List() {
 		var buf bytes.Buffer
 		if err := Run(e.ID, sc, &buf); err != nil {

@@ -173,6 +173,10 @@ func (v VMA) perm() pagetable.Flags {
 // NewProcess creates a process with an empty address space on cpu, registers
 // it with the platform, and maps nothing. Most callers want StartProcess.
 func (k *Kernel) NewProcess(cpu *vclock.CPU) (*Process, error) {
+	// PID assignment and the root-table frame come from kernel-shared
+	// pools: gate so concurrent process creation on other vCPUs orders
+	// them by virtual time (ties by vCPU id), not by goroutine startup.
+	cpu.Sync()
 	gpt, err := pagetable.New(k.GPA)
 	if err != nil {
 		return nil, err
@@ -335,12 +339,13 @@ func (p *Process) Munmap(base arch.VA, pages int) error {
 		}
 		p.CPU.AdvanceLazy(prm.PTEWrite)
 		p.GPT.Unmap(va) // fires the platform's PTE-store hook
-		released, err := p.K.GPA.Free(e.PFN)
-		if err != nil {
-			return err
-		}
-		if released {
+		// Release the backing before the frame reaches the free list: a
+		// frame another vCPU allocates must never arrive still backed.
+		if p.K.GPA.RefCount(e.PFN) == 1 {
 			p.K.plat.ReleasePage(p, va, e.PFN)
+		}
+		if _, err := p.K.GPA.Free(e.PFN); err != nil {
+			return err
 		}
 	}
 	p.K.plat.FlushRange(p, pages)
@@ -408,6 +413,10 @@ func (p *Process) Fork(childCPU *vclock.CPU) (*Process, error) {
 	prm := k.plat.Params()
 	k.plat.Counters().Forks.Add(1)
 
+	// PID assignment and the child's root-table frame come from
+	// kernel-shared pools: gate so concurrent forks on other vCPUs order
+	// them by virtual time, not by how far ahead this vCPU has run.
+	p.CPU.Sync()
 	childGPT, err := pagetable.New(k.GPA)
 	if err != nil {
 		return nil, err
@@ -519,13 +528,11 @@ func (p *Process) teardownAddressSpace() error {
 	p.gptMapper.Reset() // cached leaf must not outlive GPT.Destroy
 	var err error
 	p.GPT.Range(func(va arch.VA, e pagetable.Entry) bool {
-		var released bool
-		released, err = p.K.GPA.Free(e.PFN)
-		if err != nil {
-			return false
-		}
-		if released {
+		if p.K.GPA.RefCount(e.PFN) == 1 {
 			p.K.plat.ReleasePage(p, va, e.PFN)
+		}
+		if _, err = p.K.GPA.Free(e.PFN); err != nil {
+			return false
 		}
 		return true
 	})
@@ -566,6 +573,13 @@ func (k *Kernel) HandleFault(p *Process, va arch.VA, write bool) (arch.PFN, erro
 				return 0, err
 			}
 			c.AdvanceLazy(prm.FrameAlloc + prm.CopyPage + prm.PTEWrite)
+			if k.GPA.RefCount(e.PFN) == 1 {
+				// Final reference: report the frame down the stack before
+				// it reaches the free list, so a recycled frame always
+				// refaults its backing instead of inheriting it from a
+				// dead mapping.
+				k.plat.ReleasePage(p, va, e.PFN)
+			}
 			if _, err := k.GPA.Free(e.PFN); err != nil {
 				return 0, err
 			}

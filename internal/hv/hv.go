@@ -138,6 +138,12 @@ func (vm *VM) Backing(gpa arch.PFN) (arch.PFN, bool) {
 // whether a violation was taken. With Host.Warm set, missing translations
 // are installed silently.
 func (vm *VM) EnsureBacking(c *vclock.CPU, gpa arch.PFN) (arch.PFN, bool) {
+	// EPT01 is shared by every vCPU of the VM (and, with huge pages, a
+	// neighbour's 2 MiB mapping can cover this gpa), so the presence check
+	// must be ordered into the virtual schedule: gate first, so whether a
+	// concurrent vCPU's map is visible is a function of virtual time, not
+	// of how far this vCPU's goroutine has raced ahead in real time.
+	c.Sync()
 	if hpa, ok := vm.Backing(gpa); ok {
 		return hpa, false
 	}
@@ -153,7 +159,14 @@ func (vm *VM) EnsureBacking(c *vclock.CPU, gpa arch.PFN) (arch.PFN, bool) {
 	c.Advance(p.SwitchHW)
 	var hpa arch.PFN
 	vm.MMULock.With(c, p.FrameAlloc+p.EPTFix, func() {
-		hpa = vm.mapBacking(gpa)
+		// Re-check under the lock: another vCPU that missed the same
+		// frame (or its huge-page block) in the gate-to-grant window has
+		// already installed the mapping; it still cost this vCPU a full
+		// violation round trip, as on real hardware.
+		var ok bool
+		if hpa, ok = vm.Backing(gpa); !ok {
+			hpa = vm.mapBacking(gpa)
+		}
 	})
 	ctr.EPTViolations.Add(1)
 	vm.eptViolations++
@@ -187,6 +200,8 @@ func (vm *VM) mapBacking(gpa arch.PFN) arch.PFN {
 // asynchronous worker in real systems; the caller charges only the brief
 // critical section under the VM's mmu_lock.
 func (vm *VM) ReleaseBacking(c *vclock.CPU, gpa arch.PFN) bool {
+	// Gate before probing shared EPT01 state, as in EnsureBacking.
+	c.Sync()
 	if vm.Host.HugeEPT {
 		e, ok := vm.EPT01.LookupLarge(gpaKey(gpa))
 		if !ok {
@@ -195,6 +210,11 @@ func (vm *VM) ReleaseBacking(c *vclock.CPU, gpa arch.PFN) bool {
 		// KVM-style huge-spte invalidation: the whole block is zapped
 		// and freed; surviving neighbours refault later.
 		vm.MMULock.With(c, vm.Host.Prm.EPTFix/2, func() {
+			// A neighbour's release may have zapped the block in the
+			// gate-to-grant window; the invalidation is then a no-op.
+			if _, ok := vm.EPT01.LookupLarge(gpaKey(gpa)); !ok {
+				return
+			}
 			vm.EPT01.UnmapLarge(gpaKey(gpa))
 			if _, err := vm.Host.HPA.Free(e.PFN); err != nil {
 				panic(err)

@@ -105,6 +105,15 @@ type Counters struct {
 	COWBreaks      Count
 	Forks          Count
 	Execs          Count
+
+	// WorldExits / WorldEntries count the leave-guest and return-to-guest
+	// legs of every world-switch choreography (hardware VM exit/entry,
+	// nested L2→L1 / L1→L2 trip halves, PVM switcher exit/entry). Every
+	// exit leg is paired with exactly one entry leg, so at quiescence the
+	// two counters must be equal — the conservation law the check harness
+	// audits after every run.
+	WorldExits   Count
+	WorldEntries Count
 }
 
 // Switch records one world switch of kind k.
@@ -143,6 +152,8 @@ type Snapshot struct {
 	COWBreaks      int64
 	Forks          int64
 	Execs          int64
+	WorldExits     int64
+	WorldEntries   int64
 }
 
 // Snapshot copies the current counter values.
@@ -172,6 +183,8 @@ func (c *Counters) Snapshot() Snapshot {
 	s.COWBreaks = c.COWBreaks.Load()
 	s.Forks = c.Forks.Load()
 	s.Execs = c.Execs.Load()
+	s.WorldExits = c.WorldExits.Load()
+	s.WorldEntries = c.WorldEntries.Load()
 	return s
 }
 

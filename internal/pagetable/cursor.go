@@ -1,0 +1,19 @@
+package pagetable
+
+// cursorBypass, when set, stops Mapper and Reader from caching leaf-table
+// spans: every call falls through to the direct PageTable walk. Both
+// cursors are documented observationally identical to the direct calls, and
+// the metamorphic harness pins that claim by re-running seeds with the
+// bypass engaged.
+//
+// The flag is package-global test plumbing, not a tuning knob: it is read
+// without synchronization on the cursor miss paths, so it must only change
+// while no simulation is running (before Engine.Go spawns the vCPUs that
+// create cursors, or after Engine.Wait returns).
+var cursorBypass bool
+
+// SetCursorBypass disables (on=true) or restores (on=false) the Mapper and
+// Reader span caches. Must not be toggled while a simulation is running;
+// cursors created while the bypass is set never populate their cache, so
+// every access takes the direct walk.
+func SetCursorBypass(on bool) { cursorBypass = on }

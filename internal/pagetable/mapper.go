@@ -55,7 +55,7 @@ func (m *Mapper) Map(va arch.VA, pfn arch.PFN, flags Flags) (writes int, err err
 		return 1, nil
 	}
 	writes, err = m.pt.Map(va, pfn, flags)
-	if err == nil {
+	if err == nil && !cursorBypass {
 		if t, _, ok := m.pt.leaf(va); ok {
 			m.t = t
 			m.base = va &^ (LargePageSpan - 1)
@@ -95,7 +95,7 @@ func (m *Mapper) Protect(va arch.VA, flags Flags) bool {
 		return true
 	}
 	ok := m.pt.Protect(va, flags)
-	if ok {
+	if ok && !cursorBypass {
 		if t, _, leafOK := m.pt.leaf(va); leafOK {
 			m.t = t
 			m.base = va &^ (LargePageSpan - 1)
@@ -117,8 +117,10 @@ func (m *Mapper) Lookup(va arch.VA) (Entry, bool) {
 	if !ok {
 		return Entry{}, false
 	}
-	m.t = t
-	m.base = va &^ (LargePageSpan - 1)
+	if !cursorBypass {
+		m.t = t
+		m.base = va &^ (LargePageSpan - 1)
+	}
 	e := t.entries[idx]
 	if !e.Flags.Has(Present) {
 		return Entry{}, false

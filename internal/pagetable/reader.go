@@ -46,8 +46,10 @@ func (r *Reader) span(va arch.VA) (*table, bool) {
 	if !ok {
 		return nil, false
 	}
-	r.t = t
-	r.base = va &^ (LargePageSpan - 1)
+	if !cursorBypass {
+		r.t = t
+		r.base = va &^ (LargePageSpan - 1)
+	}
 	return t, true
 }
 
@@ -73,7 +75,7 @@ func (r *Reader) Walk(va arch.VA, write, user bool) (Entry, int, *Fault) {
 		e, levels, fault := pt.Walk(va, write, user)
 		// Cache the leaf table when one covers va (also after leaf-level
 		// faults: the table exists even when the entry faults).
-		if t, _, ok := pt.leaf(va); ok {
+		if t, _, ok := pt.leaf(va); ok && !cursorBypass {
 			r.t = t
 			r.base = va &^ (LargePageSpan - 1)
 		}

@@ -368,6 +368,26 @@ func (t *TLB) flushWhere(pred func(uint64, Entry) bool) int {
 // Len returns the number of live entries.
 func (t *TLB) Len() int { return len(t.entries) }
 
+// Range calls fn for every live entry in LRU order (most recently used
+// first) until fn returns false. It is a pure read: no stats movement, no
+// LRU reordering, no micro-TLB update — auditors iterate a TLB without
+// perturbing it.
+func (t *TLB) Range(fn func(Key, Entry) bool) {
+	for i := t.head; i != none; i = t.nodes[i].next {
+		if !fn(unpack(t.nodes[i].key), t.nodes[i].ent) {
+			return
+		}
+	}
+}
+
+// DropCaches force-invalidates the acceleration state guarding the packed
+// fast paths — the one-entry micro-TLB and every node's run link — by
+// bumping the structural generation, exactly as any insert or flush would.
+// The cached translations themselves are untouched, so DropCaches has no
+// observable effect; the metamorphic harness injects it to prove lookups
+// never depend on the caches being warm.
+func (t *TLB) DropCaches() { t.gen++ }
+
 // Generation returns the structural generation counter guarding the
 // micro-TLB. It advances on every insert, eviction, zap, and flush.
 func (t *TLB) Generation() uint64 { return t.gen }

@@ -177,51 +177,7 @@ func TestSetSoloBypassMidRun(t *testing.T) {
 	}
 }
 
-// TestSoloBypassEquivalence runs one script — solo phases, a mid-run
-// admission, lock contention, lazy charges, dilated compute — with the
-// bypass on and off, and demands bit-identical virtual-time results.
-func TestSoloBypassEquivalence(t *testing.T) {
-	run := func(bypass bool) (makespan int64, st LockStats, adv int64, grants int64) {
-		e := NewEngine()
-		e.SetCores(1)
-		e.SetSoloBypass(bypass)
-		l := e.NewLock("l")
-		e.Go(0, func(a *CPU) {
-			a.Advance(3)
-			a.AdvanceLazy(4)
-			l.With(a, 5, nil)
-			e.Go(20, func(b *CPU) {
-				l.With(b, 2, nil)
-				b.Compute(6)
-			})
-			a.Advance(30)
-			l.With(a, 1, nil)
-			a.Compute(8)
-			a.Sync()
-			adv = a.Advanced
-		})
-		e.Wait()
-		if err := e.Err(); err != nil {
-			t.Fatal(err)
-		}
-		return e.Makespan(), l.Stats(), adv, e.SoloGrants()
-	}
-
-	mOn, stOn, advOn, gOn := run(true)
-	mOff, stOff, advOff, gOff := run(false)
-	if mOn != mOff {
-		t.Errorf("makespan: bypass on %d, off %d", mOn, mOff)
-	}
-	if stOn != stOff {
-		t.Errorf("lock stats: bypass on %+v, off %+v", stOn, stOff)
-	}
-	if advOn != advOff {
-		t.Errorf("Advanced: bypass on %d, off %d", advOn, advOff)
-	}
-	if gOn == 0 {
-		t.Error("bypass on: solo mode never engaged")
-	}
-	if gOff != 0 {
-		t.Errorf("bypass off: SoloGrants = %d, want 0", gOff)
-	}
-}
+// The solo-bypass on/off differential lives in internal/check
+// (TestSoloBypassDifferential): the metamorphic oracle runs full guest
+// workloads both ways and compares clocks, metrics, and trace digests,
+// which subsumes the engine-level script this file used to carry.

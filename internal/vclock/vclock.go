@@ -75,6 +75,16 @@ type Engine struct {
 	// it to pin the bypass against the fully gated engine.
 	soloOff bool
 
+	// hold, when non-nil, is the armed starting barrier (see Hold): vCPU
+	// goroutines launched by Go park on it before running their workload.
+	hold chan struct{}
+
+	// eager disables fused cost charging (SetEagerCharges): AdvanceLazy
+	// becomes an immediate Advance. Schedules are bit-identical either
+	// way; the metamorphic harness pins the fused accounting against the
+	// fully eager engine.
+	eager bool
+
 	// soloGrants counts solo-mode entries (diagnostic; lets tests assert
 	// the bypass actually engaged).
 	soloGrants int64
@@ -118,6 +128,112 @@ func (e *Engine) SoloGrants() int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.soloGrants
+}
+
+// SetEagerCharges disables (on=true) or restores (on=false) fused cost
+// charging: with eager charges every AdvanceLazy gates immediately like
+// Advance. Deferred charges are always folded into the clock before any
+// interaction with shared state, so the virtual-time observables — final
+// clocks, makespan, lock statistics, trace timestamps — are bit-identical
+// either way; the metamorphic harness uses this to pin the fused fast path
+// against the fully eager engine. Must be set before the vCPUs it affects
+// start executing.
+func (e *Engine) SetEagerCharges(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.eager = on
+}
+
+// RevokeSolo force-revokes any standing solo-bypass grant (fault injection
+// for the metamorphic harness). The engine re-grants naturally at the next
+// gated operation if conditions still allow, so accounting is unaffected;
+// only SoloGrants can differ.
+func (e *Engine) RevokeSolo() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.exitSoloLocked()
+}
+
+// Clocks returns every vCPU's current virtual time (pending lazy charges
+// folded in), indexed by vCPU id. Safe to call mid-run from a workload
+// vCPU's own slot or after Wait.
+func (e *Engine) Clocks() []int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]int64, len(e.cpus))
+	for i, c := range e.cpus {
+		out[i] = c.now + c.lazy
+	}
+	return out
+}
+
+// Audit verifies the engine's structural invariants: the heap is a valid
+// (clock, id) min-heap with consistent back-indices, exactly the running
+// vCPUs are indexed, the engine-wide lock-waiter count matches the parked
+// vCPUs, and any standing solo grant satisfies its preconditions (bypass
+// enabled, exactly one runnable vCPU, no lock intents or waiters). It is
+// read-only and safe to call from a workload vCPU between operations.
+func (e *Engine) Audit() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for i, c := range e.heap {
+		if c.hi != i {
+			return fmt.Errorf("vclock: heap[%d] is vCPU %d with back-index %d", i, c.id, c.hi)
+		}
+		if c.st != running {
+			return fmt.Errorf("vclock: heap[%d] (vCPU %d) has state %d, want running", i, c.id, c.st)
+		}
+		if i > 0 {
+			parent := e.heap[(i-1)/2]
+			if cpuLess(c, parent) {
+				return fmt.Errorf("vclock: heap order violated: heap[%d] (vCPU %d, t=%d) < parent (vCPU %d, t=%d)",
+					i, c.id, c.now, parent.id, parent.now)
+			}
+		}
+	}
+	inHeap := 0
+	waiters := 0
+	for _, c := range e.cpus {
+		switch c.st {
+		case running:
+			inHeap++
+			if c.hi < 0 || c.hi >= len(e.heap) || e.heap[c.hi] != c {
+				return fmt.Errorf("vclock: running vCPU %d not indexed by the heap (hi=%d)", c.id, c.hi)
+			}
+		case lockWait:
+			waiters++
+			if c.hi != -1 {
+				return fmt.Errorf("vclock: lock-waiting vCPU %d still has heap index %d", c.id, c.hi)
+			}
+		case done:
+			if c.hi != -1 {
+				return fmt.Errorf("vclock: finished vCPU %d still has heap index %d", c.id, c.hi)
+			}
+		}
+	}
+	if inHeap != len(e.heap) {
+		return fmt.Errorf("vclock: %d running vCPUs but heap holds %d", inHeap, len(e.heap))
+	}
+	if waiters != e.lockWaiters {
+		return fmt.Errorf("vclock: lockWaiters=%d but %d vCPUs are in lockWait", e.lockWaiters, waiters)
+	}
+	if s := e.solo; s != nil {
+		switch {
+		case e.soloOff:
+			return fmt.Errorf("vclock: solo grant standing while the bypass is disabled")
+		case e.aborted:
+			return fmt.Errorf("vclock: solo grant standing on an aborted engine")
+		case len(e.heap) != 1 || e.heap[0] != s:
+			return fmt.Errorf("vclock: solo grant held by vCPU %d but %d vCPUs are runnable", s.id, len(e.heap))
+		case e.lockWaiters != 0:
+			return fmt.Errorf("vclock: solo grant standing with %d lock waiters", e.lockWaiters)
+		case s.pendingLock != nil:
+			return fmt.Errorf("vclock: solo vCPU %d has a pending lock intent", s.id)
+		case !s.soloActive.Load():
+			return fmt.Errorf("vclock: solo grant not published to vCPU %d", s.id)
+		}
+	}
+	return nil
 }
 
 // CPU is one simulated virtual CPU (or guest process context). All methods
@@ -313,6 +429,9 @@ func (e *Engine) NewCPU(start int64) *CPU {
 // still returns instead of deadlocking on the min-clock gate.
 func (e *Engine) Go(start int64, fn func(c *CPU)) *CPU {
 	c := e.NewCPU(start)
+	e.mu.Lock()
+	hold := e.hold
+	e.mu.Unlock()
 	e.wg.Add(1)
 	go func() {
 		defer e.wg.Done()
@@ -324,9 +443,35 @@ func (e *Engine) Go(start int64, fn func(c *CPU)) *CPU {
 			}
 			c.Done()
 		}()
+		if hold != nil {
+			<-hold
+		}
 		fn(c)
 	}()
 	return c
+}
+
+// Hold arms a starting barrier: vCPU goroutines launched by Go are admitted
+// to the runnable heap immediately (so the min-clock gate orders everyone
+// against them) but do not begin executing until the returned release
+// function is called. Launching a batch of workers under Hold makes the
+// schedule independent of how far an early worker's goroutine happens to get
+// in real time before a later worker is registered.
+func (e *Engine) Hold() (release func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.hold == nil {
+		e.hold = make(chan struct{})
+	}
+	ch := e.hold
+	return func() {
+		e.mu.Lock()
+		if e.hold == ch {
+			e.hold = nil
+		}
+		e.mu.Unlock()
+		close(ch)
+	}
 }
 
 // Wait blocks until every vCPU launched with Go has finished (normally or by
@@ -516,6 +661,11 @@ func (c *CPU) Now() int64 {
 func (c *CPU) AdvanceLazy(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative lazy advance %d", d))
+	}
+	if c.e.eager {
+		// Fused charging disabled (SetEagerCharges): gate immediately.
+		c.Advance(d)
+		return
 	}
 	c.lazy += d
 }
