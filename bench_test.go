@@ -271,6 +271,72 @@ func BenchmarkColdFaultRange(b *testing.B) {
 	}
 }
 
+// Multi-vCPU contention benchmarks: ns/op is the simulator's cost per page
+// when b.N total pages of fault/map/unmap work are divided across 1/2/4/8
+// concurrently running processes. Each (backend, vcpus) cell runs twice —
+// under the serial conservative engine and under the horizon-parallel
+// executor (EngineWorkers=4) — and the two schedules are bit-identical
+// (TestParallelEngineDifferential), so the pair isolates the host-side win
+// of dispatching independent sub-horizon segments across workers.
+// BENCH_pr7.json pairs them.
+
+// contentionVCPUs are the per-cell process counts; 1 pins the solo-bypass
+// precedence (the parallel arm must not slow the single-vCPU case down).
+var contentionVCPUs = []int{1, 2, 4, 8}
+
+func benchMultiVCPU(b *testing.B, cfg Config, direct bool, vcpus, workers int) {
+	opt := DefaultOptions()
+	opt.DirectPaging = direct
+	opt.EngineWorkers = workers
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Each process faults through private windows, so most virtual charges
+	// are exact page-fault latencies the parallel executor can pool; the
+	// map/unmap churn keeps the guest kernel's lock on the path.
+	const window = 256
+	per := (b.N + vcpus - 1) / vcpus
+	b.ReportAllocs()
+	b.ResetTimer()
+	release := sys.Eng.Hold()
+	for w := 0; w < vcpus; w++ {
+		g.Run(0, 4, func(p *Process) {
+			for i := 0; i < per; i += window {
+				sweep := window
+				if left := per - i; left < sweep {
+					sweep = left
+				}
+				base := p.Mmap(sweep)
+				p.TouchRange(base, sweep, true)
+				if err := p.Munmap(base, sweep); err != nil {
+					panic(err)
+				}
+			}
+		})
+	}
+	release()
+	sys.Eng.Wait()
+	b.StopTimer()
+	if err := sys.Eng.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkMultiVCPUContention(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		for _, v := range contentionVCPUs {
+			b.Run(fmt.Sprintf("%s/vcpus=%d/serial", c.name, v), func(b *testing.B) {
+				benchMultiVCPU(b, c.cfg, c.direct, v, 0)
+			})
+			b.Run(fmt.Sprintf("%s/vcpus=%d/parallel", c.name, v), func(b *testing.B) {
+				benchMultiVCPU(b, c.cfg, c.direct, v, 4)
+			})
+		}
+	}
+}
+
 // BenchmarkConcurrentMembench measures simulator throughput under the
 // contended 16-process Figure 10 workload.
 func BenchmarkConcurrentMembench(b *testing.B) {
@@ -280,6 +346,7 @@ func BenchmarkConcurrentMembench(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		release := sys.Eng.Hold()
 		for w := 0; w < 16; w++ {
 			g.Run(0, 4, func(p *Process) {
 				base := p.Mmap(256)
@@ -289,6 +356,7 @@ func BenchmarkConcurrentMembench(b *testing.B) {
 				}
 			})
 		}
+		release()
 		sys.Eng.Wait()
 	}
 }

@@ -1,16 +1,20 @@
 // Command benchreport produces the PR's before/after performance artifact
-// (BENCH_pr3.json by default): it runs the TouchRange and ColdFault
-// benchmark grids — the ranged fast path against its per-page reference
+// (BENCH_pr7.json by default): it runs the TouchRange, ColdFault, and
+// MultiVCPUContention benchmark grids — each fast path against its reference
 // implementation for every MMU backend — pairs the ns/op numbers into
-// speedups, times the serial default-scale experiment grid, and emits one
-// JSON document.
+// speedups, times the default-scale experiment grid serially and under the
+// horizon-parallel engine, and emits one JSON document stamped with the
+// host's parallelism (GOMAXPROCS) and the engine worker budget.
 //
 // With -diff it instead compares two previously generated artifacts and
-// reports per-cell speedups, flagging regressions beyond -threshold:
+// reports per-cell speedups, flagging regressions beyond -threshold. A diff
+// refuses to compare artifacts measured under different -benchtime settings
+// or different host parallelism: such numbers differ for reasons that have
+// nothing to do with the code under test.
 //
-//	go run ./cmd/benchreport -out BENCH_pr3.json
+//	go run ./cmd/benchreport -out BENCH_pr7.json
 //	go run ./cmd/benchreport -benchtime 500000x -skip-grid
-//	go run ./cmd/benchreport -diff BENCH_pr2.json BENCH_pr3.json
+//	go run ./cmd/benchreport -diff BENCH_pr3.json BENCH_pr7.json
 package main
 
 import (
@@ -37,11 +41,30 @@ var benchLine = regexp.MustCompile(`^Benchmark(TouchRange(?:Resident|Faulting))(
 // (bulk-population) path, bare ColdFault the per-page reference.
 var coldLine = regexp.MustCompile(`^BenchmarkColdFault(Range)?/(\w+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// contLine matches one MultiVCPUContention cell: the same (backend, vCPU
+// count) workload under the serial conservative engine and under the
+// horizon-parallel executor.
+var contLine = regexp.MustCompile(`^BenchmarkMultiVCPUContention/(\w+)/(vcpus=\d+)/(serial|parallel)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
 // pair is one backend's ranged-vs-reference measurement.
 type pair struct {
 	RangedNs  float64 `json:"ranged_ns_per_page"`
 	PerPageNs float64 `json:"per_page_ns_per_page"`
 	Speedup   float64 `json:"speedup"`
+}
+
+// contentionWorkers is the horizon-parallel worker budget the parallel arms
+// of the contention grid and the engine-parallel grid timing run with; it
+// matches the budget in BenchmarkMultiVCPUContention and the CI equivalence
+// job.
+const contentionWorkers = 4
+
+// contCell is one backend's serial-vs-parallel engine measurement at a fixed
+// vCPU count; the two runs compute bit-identical schedules.
+type contCell struct {
+	SerialNs   float64 `json:"serial_ns_per_page"`
+	ParallelNs float64 `json:"parallel_ns_per_page"`
+	Speedup    float64 `json:"speedup"`
 }
 
 type gridTiming struct {
@@ -53,25 +76,37 @@ type gridTiming struct {
 }
 
 type report struct {
-	PR         string                      `json:"pr"`
-	Date       string                      `json:"date"`
-	Host       string                      `json:"host"`
-	Benchtime  string                      `json:"benchtime"`
-	Notes      []string                    `json:"notes"`
-	TouchRange map[string]map[string]*pair `json:"touch_range_ns_per_page"`
-	ColdFault  map[string]*pair            `json:"cold_fault_ns_per_page,omitempty"`
-	Grid       *gridTiming                 `json:"default_grid,omitempty"`
+	PR        string `json:"pr"`
+	Date      string `json:"date"`
+	Host      string `json:"host"`
+	Benchtime string `json:"benchtime"`
+	// ContentionBenchtime is the separate -benchtime of the
+	// MultiVCPUContention grid; -diff refuses mismatches the same way.
+	ContentionBenchtime string `json:"contention_benchtime,omitempty"`
+	// GOMAXPROCS is the host parallelism the numbers were measured under;
+	// -diff refuses to compare artifacts that disagree on it.
+	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
+	// EngineWorkers is the worker budget the parallel-engine cells ran with.
+	EngineWorkers int                         `json:"engine_workers,omitempty"`
+	Notes         []string                    `json:"notes"`
+	TouchRange    map[string]map[string]*pair `json:"touch_range_ns_per_page"`
+	ColdFault     map[string]*pair            `json:"cold_fault_ns_per_page,omitempty"`
+	MultiVCPU     map[string]*contCell        `json:"multi_vcpu_contention_ns_per_page,omitempty"`
+	Grid          *gridTiming                 `json:"default_grid,omitempty"`
+	GridParallel  *gridTiming                 `json:"default_grid_engine_parallel,omitempty"`
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_pr3.json", "output `file`")
-		benchtime = flag.String("benchtime", "2000000x", "-benchtime passed to go test")
-		count     = flag.Int("count", 3, "-count passed to go test (best ns/op per cell is kept)")
-		skipGrid  = flag.Bool("skip-grid", false, "skip the default-grid wall-clock timing")
-		baseline  = flag.String("baseline", "BENCH_pr2.json", "prior bench artifact to read the baseline grid wall clock from (empty = none)")
-		diffMode  = flag.Bool("diff", false, "compare two artifacts: benchreport -diff old.json new.json")
-		threshold = flag.Float64("threshold", 1.10, "with -diff, fail if any new ranged ns/op exceeds old by this factor (0 disables)")
+		out           = flag.String("out", "BENCH_pr7.json", "output `file`")
+		benchtime     = flag.String("benchtime", "2000000x", "-benchtime passed to go test")
+		count         = flag.Int("count", 3, "-count passed to go test (best ns/op per cell is kept)")
+		skipGrid      = flag.Bool("skip-grid", false, "skip the default-grid wall-clock timings")
+		contBenchtime = flag.String("contention-benchtime", "500000x", "-benchtime for the MultiVCPUContention grid (heavier per op than the page grids)")
+		baseline      = flag.String("baseline", "BENCH_pr3.json", "prior bench artifact to read the baseline grid wall clock from (empty = none)")
+		diffMode      = flag.Bool("diff", false, "compare two artifacts: benchreport -diff old.json new.json")
+		threshold     = flag.Float64("threshold", 1.10, "with -diff, fail if any new ranged ns/op exceeds old by this factor (0 disables)")
+		force         = flag.Bool("force", false, "with -diff, compare despite mismatched benchtime or host parallelism (numbers are not like-for-like)")
 	)
 	flag.Parse()
 
@@ -80,35 +115,47 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchreport: -diff needs exactly two arguments: old.json new.json")
 			os.Exit(2)
 		}
-		os.Exit(diffReports(flag.Arg(0), flag.Arg(1), *threshold))
+		os.Exit(diffReports(flag.Arg(0), flag.Arg(1), *threshold, *force))
 	}
 
 	rep := report{
-		PR:        "cold-fault fast lane",
-		Date:      time.Now().Format("2006-01-02"),
-		Host:      fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
-		Benchtime: *benchtime,
+		PR:                  "horizon-parallel vclock engine",
+		Date:                time.Now().Format("2006-01-02"),
+		Host:                fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
+		Benchtime:           *benchtime,
+		ContentionBenchtime: *contBenchtime,
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		EngineWorkers:       contentionWorkers,
 		Notes: []string{
 			"ranged = Process.TouchRange via Guest.AccessRange (run-length TLB resolution, per-node run links, one lazy advance per hit run)",
 			"per_page = Process.TouchRangeByPage, the per-page reference path the equivalence tests pin the fast path against",
 			"resident sweeps a 1024-page working set inside the 1536-entry TLB (steady-state all hits); faulting maps+touches+unmaps so every page replays the full miss choreography",
 			"cold_fault spawns a fresh solo process per 512-page chunk so every touch is a demand-zero fault against empty tables: the solo-vCPU engine bypass + bulk leaf population workload",
-			"minimum ns/op of -count runs per cell after a discarded warmup pass (1-CPU shared host)",
+			"multi_vcpu_contention runs the same N-process fault/map/unmap workload under the serial engine and under the horizon-parallel executor (EngineWorkers=4); the two schedules are bit-identical, so the pair isolates the host-side dispatch win",
+			"the parallel executor's wall-clock win requires GOMAXPROCS > 1: on a single-hardware-thread host its cells demonstrate parity (no regression), not speedup — -diff refuses to compare artifacts across host parallelism for this reason",
+			"minimum ns/op of -count runs per cell after a discarded warmup pass",
 		},
 		TouchRange: map[string]map[string]*pair{
 			"resident": {},
 			"faulting": {},
 		},
 		ColdFault: map[string]*pair{},
+		MultiVCPU: map[string]*contCell{},
 	}
 
-	if err := runBenchmarks(&rep, *benchtime, *count); err != nil {
+	if err := runBenchmarks(&rep, *benchtime, *contBenchtime, *count); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
 
 	if !*skipGrid {
-		rep.Grid = timeGrid(*baseline)
+		rep.Grid = timeGrid(*baseline, 0)
+		rep.GridParallel = timeGrid("", contentionWorkers)
+		if rep.Grid.WallS > 0 && rep.GridParallel.WallS > 0 {
+			rep.GridParallel.BaselineWallS = rep.Grid.WallS
+			rep.GridParallel.SpeedupVsPrior = round2(rep.Grid.WallS / rep.GridParallel.WallS)
+			rep.GridParallel.BaselineComment = "this artifact's serial default_grid.wall_clock_s"
+		}
 	}
 
 	f, err := os.Create(*out)
@@ -129,43 +176,80 @@ func main() {
 	fmt.Printf("wrote %s\n", *out)
 }
 
-// runBenchmarks shells out to `go test -bench` for the TouchRange grid and
-// folds the parsed ns/op numbers into rep. With -count > 1, the minimum
-// ns/op per cell is kept (the usual noise filter on a shared host). A short
-// discarded warmup pass runs first so the first cell of the measured grid
-// does not pay the cold-start penalty (build cache, CPU frequency ramp).
-func runBenchmarks(rep *report, benchtime string, count int) error {
-	const pattern = "Benchmark(TouchRange(Resident|Faulting)(PerPage)?|ColdFault(Range)?)/"
+// runBenchmarks shells out to `go test -bench` for the TouchRange/ColdFault
+// grids and (at its own, shorter benchtime — each op is a whole contended
+// page) the MultiVCPUContention grid, folding the parsed ns/op numbers into
+// rep. With -count > 1, the minimum ns/op per cell is kept (the usual noise
+// filter on a shared host). A short discarded warmup pass runs first so the
+// first cell of the measured grid does not pay the cold-start penalty
+// (build cache, CPU frequency ramp).
+func runBenchmarks(rep *report, benchtime, contBenchtime string, count int) error {
+	const pagePattern = "Benchmark(TouchRange(Resident|Faulting)(PerPage)?|ColdFault(Range)?)/"
+	const contPattern = "BenchmarkMultiVCPUContention/"
 	warm := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern,
+		"-bench", pagePattern,
 		"-benchtime", "100000x", ".")
 	warm.Stdout, warm.Stderr = io.Discard, os.Stderr
 	if err := warm.Run(); err != nil {
 		return fmt.Errorf("warmup: %v", err)
 	}
+	raw, err := runBenchPass(pagePattern, benchtime, count)
+	if err != nil {
+		return err
+	}
+	contRaw, err := runBenchPass(contPattern, contBenchtime, count)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, contRaw...)
+
+	return parseBenchLines(rep, raw)
+}
+
+// runBenchPass runs one `go test -bench` invocation and returns its stdout.
+func runBenchPass(pattern, benchtime string, count int) ([]byte, error) {
 	cmd := exec.Command("go", "test", "-run", "^$",
 		"-bench", pattern,
 		"-benchtime", benchtime, "-count", fmt.Sprint(count), ".")
 	cmd.Stderr = os.Stderr
 	outPipe, err := cmd.StdoutPipe()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := cmd.Start(); err != nil {
-		return err
+		return nil, err
 	}
 	raw, err := io.ReadAll(outPipe)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if err := cmd.Wait(); err != nil {
-		return fmt.Errorf("go test -bench: %v\n%s", err, raw)
+		return nil, fmt.Errorf("go test -bench %s: %v\n%s", pattern, err, raw)
 	}
+	return raw, nil
+}
 
+// parseBenchLines folds raw `go test -bench` output into the report's grids.
+func parseBenchLines(rep *report, raw []byte) error {
 	type cell struct{ kind, config string }
 	ranged := map[cell]float64{}
 	perPage := map[cell]float64{}
+	serialVCPU := map[string]float64{}
+	parallelVCPU := map[string]float64{}
 	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		if m := contLine.FindStringSubmatch(line); m != nil {
+			var ns float64
+			fmt.Sscanf(m[4], "%g", &ns)
+			dst := serialVCPU
+			if m[3] == "parallel" {
+				dst = parallelVCPU
+			}
+			key := m[1] + "/" + m[2]
+			if old, ok := dst[key]; !ok || ns < old {
+				dst[key] = ns
+			}
+			continue
+		}
 		if m := coldLine.FindStringSubmatch(line); m != nil {
 			var ns float64
 			fmt.Sscanf(m[3], "%g", &ns)
@@ -217,6 +301,17 @@ func runBenchmarks(rep *report, benchtime string, count int) error {
 			rep.TouchRange[c.kind][c.config] = p
 		}
 	}
+	for key, ns := range parallelVCPU {
+		ref, ok := serialVCPU[key]
+		if !ok {
+			continue
+		}
+		rep.MultiVCPU[key] = &contCell{
+			SerialNs:   ref,
+			ParallelNs: ns,
+			Speedup:    round2(ref / ns),
+		}
+	}
 	return nil
 }
 
@@ -225,7 +320,13 @@ func runBenchmarks(rep *report, benchtime string, count int) error {
 // code if any cell present in both artifacts regressed by more than the
 // threshold factor (new > old*threshold); cells present in only one artifact
 // are reported but never fail the diff.
-func diffReports(oldPath, newPath string, threshold float64) int {
+//
+// Artifacts measured under different -benchtime settings or different host
+// parallelism (GOMAXPROCS) are refused outright unless forced: their ns/op
+// numbers differ for reasons unrelated to the code under test. A missing
+// field (artifacts from before it was recorded) is treated as unknown and
+// not compared.
+func diffReports(oldPath, newPath string, threshold float64, force bool) int {
 	oldRep, err := loadReport(oldPath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
@@ -235,6 +336,32 @@ func diffReports(oldPath, newPath string, threshold float64) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		return 2
+	}
+	if oldRep.Benchtime != "" && newRep.Benchtime != "" && oldRep.Benchtime != newRep.Benchtime {
+		if !force {
+			fmt.Fprintf(os.Stderr, "benchreport: refusing to diff: benchtime %s (%s) vs %s (%s); -force overrides\n",
+				oldRep.Benchtime, oldPath, newRep.Benchtime, newPath)
+			return 2
+		}
+		fmt.Printf("WARNING: comparing across benchtime %s vs %s (-force)\n", oldRep.Benchtime, newRep.Benchtime)
+	}
+	if oldRep.ContentionBenchtime != "" && newRep.ContentionBenchtime != "" &&
+		oldRep.ContentionBenchtime != newRep.ContentionBenchtime {
+		if !force {
+			fmt.Fprintf(os.Stderr, "benchreport: refusing to diff: contention benchtime %s (%s) vs %s (%s); -force overrides\n",
+				oldRep.ContentionBenchtime, oldPath, newRep.ContentionBenchtime, newPath)
+			return 2
+		}
+		fmt.Printf("WARNING: comparing across contention benchtime %s vs %s (-force)\n",
+			oldRep.ContentionBenchtime, newRep.ContentionBenchtime)
+	}
+	if oldRep.GOMAXPROCS != 0 && newRep.GOMAXPROCS != 0 && oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
+		if !force {
+			fmt.Fprintf(os.Stderr, "benchreport: refusing to diff: host parallelism GOMAXPROCS=%d (%s) vs GOMAXPROCS=%d (%s); -force overrides\n",
+				oldRep.GOMAXPROCS, oldPath, newRep.GOMAXPROCS, newPath)
+			return 2
+		}
+		fmt.Printf("WARNING: comparing across GOMAXPROCS %d vs %d (-force)\n", oldRep.GOMAXPROCS, newRep.GOMAXPROCS)
 	}
 	fmt.Printf("%s (%s) -> %s (%s)\n", oldPath, oldRep.PR, newPath, newRep.PR)
 	fmt.Printf("%-34s %12s %12s %9s\n", "cell (ranged ns/page)", "old", "new", "speedup")
@@ -266,6 +393,24 @@ func diffReports(oldPath, newPath string, threshold float64) int {
 	for _, cfg := range sortedKeys(oldRep.ColdFault, newRep.ColdFault) {
 		compare("cold_fault/"+cfg, oldRep.ColdFault[cfg], newRep.ColdFault[cfg])
 	}
+	for _, key := range sortedKeys(oldRep.MultiVCPU, newRep.MultiVCPU) {
+		o, n := oldRep.MultiVCPU[key], newRep.MultiVCPU[key]
+		name := "multi_vcpu/" + key
+		switch {
+		case o == nil:
+			fmt.Printf("%-34s %12s %12.2f %9s\n", name, "-", n.ParallelNs, "new")
+		case n == nil:
+			fmt.Printf("%-34s %12.2f %12s %9s\n", name, o.ParallelNs, "-", "gone")
+		default:
+			mark := ""
+			if threshold > 0 && n.ParallelNs > o.ParallelNs*threshold {
+				mark = "  REGRESSION"
+				regressed++
+			}
+			fmt.Printf("%-34s %12.2f %12.2f %8.2fx%s\n", name,
+				o.ParallelNs, n.ParallelNs, o.ParallelNs/n.ParallelNs, mark)
+		}
+	}
 	if oldRep.Grid != nil && newRep.Grid != nil && newRep.Grid.WallS > 0 {
 		fmt.Printf("%-34s %11.2fs %11.2fs %8.2fx\n", "default grid wall clock",
 			oldRep.Grid.WallS, newRep.Grid.WallS, oldRep.Grid.WallS/newRep.Grid.WallS)
@@ -291,7 +436,7 @@ func loadReport(path string) (*report, error) {
 }
 
 // sortedKeys merges the key sets of two cells maps into one sorted list.
-func sortedKeys(ms ...map[string]*pair) []string {
+func sortedKeys[V any](ms ...map[string]V) []string {
 	seen := map[string]bool{}
 	var keys []string
 	for _, m := range ms {
@@ -306,18 +451,25 @@ func sortedKeys(ms ...map[string]*pair) []string {
 	return keys
 }
 
-// timeGrid runs the full default-scale experiment grid serially in-process
-// and compares its wall clock against the prior PR's artifact.
-func timeGrid(baselinePath string) *gridTiming {
+// timeGrid runs the full default-scale experiment grid in-process — serially
+// when workers is 0, under the horizon-parallel engine at that worker budget
+// otherwise — and compares its wall clock against the prior PR's artifact.
+// The output bytes are identical either way; only the wall clock moves.
+func timeGrid(baselinePath string, workers int) *gridTiming {
 	sc := experiments.DefaultScale()
 	sc.Parallel = 1
+	sc.EngineWorkers = workers
+	cmd := "pvmbench -exp all -scale default (serial, 1 worker)"
+	if workers > 1 {
+		cmd = fmt.Sprintf("pvmbench -exp all -scale default -engine-workers %d (1 cell worker)", workers)
+	}
 	start := time.Now()
 	if err := experiments.RunAll(sc, io.Discard); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: default grid: %v\n", err)
 		os.Exit(1)
 	}
 	g := &gridTiming{
-		Command: "pvmbench -exp all -scale default (serial, 1 worker)",
+		Command: cmd,
 		WallS:   round2(time.Since(start).Seconds()),
 	}
 	if baselinePath != "" {

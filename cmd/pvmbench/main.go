@@ -5,12 +5,14 @@
 //
 //	pvmbench -list
 //	pvmbench -exp fig4 [-scale default|quick|full]
-//	pvmbench -exp all [-parallel N]
+//	pvmbench -exp all [-parallel N] [-engine-workers N]
 //	pvmbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Every run is deterministic for a given scale: -parallel only fans
-// independent experiment cells across host workers and never changes the
-// output bytes.
+// independent experiment cells across host workers, -engine-workers only
+// runs each cell's vCPUs on the vclock engine's horizon-parallel executor
+// (bit-identical schedules), and neither changes the output bytes. The two
+// compose under one GOMAXPROCS budget.
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 		scale      = flag.String("scale", "default", "workload scale: quick, default, or full")
 		list       = flag.Bool("list", false, "list available experiments")
 		parallel   = flag.Int("parallel", runtime.NumCPU(), "host worker goroutines for independent experiment cells (<=1 = serial)")
+		engWorkers = flag.Int("engine-workers", 0, "vclock horizon-parallel executor worker budget per cell (<=1 = serial engine)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
 	)
@@ -60,6 +63,7 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Parallel = *parallel
+	sc.EngineWorkers = *engWorkers
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -86,7 +90,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pvmbench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\n(%s wall-clock, %d workers)\n", time.Since(start).Round(time.Millisecond), *parallel)
+	footer := fmt.Sprintf("\n(%s wall-clock, %d workers", time.Since(start).Round(time.Millisecond), *parallel)
+	if *engWorkers > 1 {
+		footer += fmt.Sprintf(", engine-workers %d", *engWorkers)
+	}
+	fmt.Println(footer + ")")
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

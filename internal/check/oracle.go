@@ -23,20 +23,24 @@ type Observation struct {
 	Dropped  int64
 	Digest   uint64 // FNV-1a over the raw fields of the ordered trace
 
-	// SoloGrants is informational and deliberately excluded from Diff:
-	// toggling or revoking the solo bypass changes how often the grant
-	// engages while leaving every observable above untouched.
-	SoloGrants int64
+	// SoloGrants and ParallelGrants are informational and deliberately
+	// excluded from Diff: toggling or revoking the solo bypass changes how
+	// often that grant engages, and the horizon-parallel executor's
+	// run-ahead pooling depends on real-time worker interleaving — both
+	// while leaving every observable above untouched.
+	SoloGrants     int64
+	ParallelGrants int64
 }
 
 // Capture collects the observable outcome of a system whose engine has
 // finished (Wait returned).
 func Capture(s *backend.System) Observation {
 	o := Observation{
-		Makespan:   s.Eng.Makespan(),
-		Clocks:     s.Eng.Clocks(),
-		Metrics:    s.Ctr.Snapshot(),
-		SoloGrants: s.Eng.SoloGrants(),
+		Makespan:       s.Eng.Makespan(),
+		Clocks:         s.Eng.Clocks(),
+		Metrics:        s.Ctr.Snapshot(),
+		SoloGrants:     s.Eng.SoloGrants(),
+		ParallelGrants: s.Eng.ParallelGrants(),
 	}
 	if s.Tracer != nil {
 		o.Events = s.Tracer.Len()

@@ -20,6 +20,7 @@ type Variant struct {
 	SoloOff      bool // vclock solo-vCPU engine bypass off
 	CursorBypass bool // pagetable Mapper/Reader span caches off
 	Eager        bool // fused cost charging off: every lazy charge gates immediately
+	Workers      int  // ≥ 2: vclock horizon-parallel executor at that worker budget
 
 	// Fault injections, applied at every generated checkpoint.
 	DropTLBCaches bool // invalidate the TLB's micro-TLB and run links
@@ -38,8 +39,11 @@ func Variants() []Variant {
 		{Name: "drop-tlb-caches", DropTLBCaches: true},
 		{Name: "revoke-solo", RevokeSolo: true},
 		{Name: "spurious-sync", SpuriousSync: true},
+		{Name: "parallel-engine", Workers: 2},
+		{Name: "parallel-engine-4", Workers: 4},
 		{Name: "everything", ByPage: true, SoloOff: true, CursorBypass: true,
-			Eager: true, DropTLBCaches: true, RevokeSolo: true, SpuriousSync: true},
+			Eager: true, DropTLBCaches: true, RevokeSolo: true, SpuriousSync: true,
+			Workers: 4},
 	}
 }
 
@@ -65,6 +69,9 @@ func runVariant(p *Program, v Variant, inspect func(*backend.System)) (Observati
 		}
 		if v.Eager {
 			sys.Eng.SetEagerCharges(true)
+		}
+		if v.Workers > 1 {
+			sys.Eng.SetParallel(v.Workers)
 		}
 		g, err := sys.NewGuest("fuzz")
 		if err != nil {

@@ -50,6 +50,13 @@ type Scale struct {
 	// Results are always assembled in cell-index order, so the output
 	// bytes are identical at every setting.
 	Parallel int
+	// EngineWorkers, when ≥ 2, enables intra-cell vCPU parallelism: every
+	// cell's vclock engine runs its horizon-parallel executor with that
+	// worker budget (backend.Options.EngineWorkers). Schedules are
+	// bit-identical to the serial engine, so the output bytes are
+	// identical at every setting; it composes with Parallel under one
+	// GOMAXPROCS budget.
+	EngineWorkers int
 }
 
 // DefaultScale returns a laptop-friendly scale (seconds per experiment).

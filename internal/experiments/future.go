@@ -43,17 +43,21 @@ func futureExp(sc Scale, w io.Writer) error {
 		v := variants[i]
 		opt := backend.DefaultOptions()
 		opt.Cores = sc.Cores
+		opt.EngineWorkers = sc.EngineWorkers
 		v.mut(&opt)
 		s := backend.NewSystem(backend.PVMNST, opt)
 		g, err := s.NewGuest("future")
 		if err != nil {
 			panic(err)
 		}
+		// Hold the engine across the admission loop (see memRun).
+		release := s.Eng.Hold()
 		for j := 0; j < procs; j++ {
 			g.Run(0, 4, func(p *guest.Process) {
 				workloads.MembenchCycle(p, pages)
 			})
 		}
+		release()
 		s.Eng.Wait()
 		snap := s.Ctr.Snapshot()
 		perFault := float64(0)

@@ -23,6 +23,20 @@
 // same (now, id) tie-break a linear min-scan would use, so schedules are
 // bit-identical to a reference O(n) implementation of the same discipline
 // (asserted by TestHeapMatchesLinearReference).
+//
+// The horizon-parallel executor (SetParallel) relaxes when a vCPU's
+// goroutine may run, never when its effects commit: an Advance by a non-root
+// vCPU is pooled into a per-vCPU run-ahead sum instead of parking the vCPU
+// at the min-clock gate, and the vCPU keeps driving its segment — per the
+// gate-first rule, work between gating operations touches only per-vCPU
+// state, so up to `workers` such segments proceed concurrently. The pooled
+// sum itself commits through the ordinary root cascade at exactly the
+// vCPU's virtual slot (processRootLocked), below the horizon formed by
+// every other vCPU's committed clock. Everything order-sensitive — Sync,
+// Acquire, Release, Compute (its dilation reads the runnable count), and
+// departure — still commits fully serialized at the heap root, so
+// schedules, clocks, and observables are bit-identical to the serial
+// engine by construction.
 package vclock
 
 import (
@@ -89,6 +103,21 @@ type Engine struct {
 	// the bypass actually engaged).
 	soloGrants int64
 
+	// par, when ≥ 2, is the worker budget of the horizon-parallel executor
+	// (SetParallel): at most par vCPUs may run ahead of the heap root with
+	// an uncommitted charge pool at once. Zero (the default) disables the
+	// executor; every charge takes the serial heap path.
+	par int
+
+	// grantsOut counts vCPUs currently running ahead (CPU.ahead > 0).
+	// Incremented when a pool opens, decremented when the root cascade
+	// commits it, bounding concurrent run-ahead segments by par.
+	grantsOut int
+
+	// parGrants counts charges the horizon-parallel executor deferred into
+	// run-ahead pools (diagnostic; lets tests assert the executor engaged).
+	parGrants int64
+
 	// lockWaiters counts vCPUs parked on lock waiter queues (state
 	// lockWait). Solo mode is never granted while any exist: a release by
 	// the would-be solo vCPU must go through the engine to hand the lock
@@ -130,6 +159,39 @@ func (e *Engine) SoloGrants() int64 {
 	return e.soloGrants
 }
 
+// SetParallel sets the worker budget of the horizon-parallel executor: up
+// to workers vCPUs may pool latency charges (Advance) into a per-vCPU
+// run-ahead sum and keep driving their segments concurrently instead of
+// parking at the min-clock gate, eliminating the park/wake round trip the
+// serial engine pays per gated operation in multi-vCPU cells. workers < 2
+// disables the executor (the default). Safe to call mid-run.
+//
+// Schedules are bit-identical at every setting: a pooled sum still commits
+// through the root cascade at exactly the vCPU's virtual slot (see
+// runAheadLocked for the argument), and every order-sensitive operation
+// stays serialized at the heap root. The solo bypass takes precedence —
+// when exactly one vCPU is runnable it skips the engine entirely.
+//
+// Like the serial engine, mid-run vCPU admission (Engine.Go / NewCPU) must
+// come from a driver goroutine, not from a running vCPU whose clock may be
+// ahead of the newcomer's start time.
+func (e *Engine) SetParallel(workers int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if workers < 2 {
+		workers = 0
+	}
+	e.par = workers
+}
+
+// ParallelGrants returns how many charges the horizon-parallel executor
+// deferred into run-ahead pools (diagnostic, for tests).
+func (e *Engine) ParallelGrants() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.parGrants
+}
+
 // SetEagerCharges disables (on=true) or restores (on=false) fused cost
 // charging: with eager charges every AdvanceLazy gates immediately like
 // Advance. Deferred charges are always folded into the clock before any
@@ -155,14 +217,14 @@ func (e *Engine) RevokeSolo() {
 }
 
 // Clocks returns every vCPU's current virtual time (pending lazy charges
-// folded in), indexed by vCPU id. Safe to call mid-run from a workload
-// vCPU's own slot or after Wait.
+// and uncommitted run-ahead sums folded in), indexed by vCPU id. Safe to
+// call mid-run from a workload vCPU's own slot or after Wait.
 func (e *Engine) Clocks() []int64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	out := make([]int64, len(e.cpus))
 	for i, c := range e.cpus {
-		out[i] = c.now + c.lazy
+		out[i] = c.now + c.ahead + c.lazy
 	}
 	return out
 }
@@ -170,9 +232,11 @@ func (e *Engine) Clocks() []int64 {
 // Audit verifies the engine's structural invariants: the heap is a valid
 // (clock, id) min-heap with consistent back-indices, exactly the running
 // vCPUs are indexed, the engine-wide lock-waiter count matches the parked
-// vCPUs, and any standing solo grant satisfies its preconditions (bypass
-// enabled, exactly one runnable vCPU, no lock intents or waiters). It is
-// read-only and safe to call from a workload vCPU between operations.
+// vCPUs, the horizon-parallel executor's run-ahead accounting matches the
+// vCPUs holding uncommitted charge pools, and any standing solo grant
+// satisfies its preconditions (bypass enabled, exactly one runnable vCPU,
+// no lock intents, no waiters, no run-ahead pool). It is read-only and
+// safe to call from a workload vCPU between operations.
 func (e *Engine) Audit() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -193,7 +257,20 @@ func (e *Engine) Audit() error {
 	}
 	inHeap := 0
 	waiters := 0
+	ahead := 0
 	for _, c := range e.cpus {
+		if c.ahead > 0 {
+			ahead++
+			if c.st != running {
+				return fmt.Errorf("vclock: run-ahead pool on non-running vCPU %d (state %d)", c.id, c.st)
+			}
+			if c.hi < 0 {
+				return fmt.Errorf("vclock: run-ahead pool on vCPU %d outside the heap", c.id)
+			}
+		}
+		if c.departing && c.st == running && c.ahead == 0 {
+			return fmt.Errorf("vclock: vCPU %d departing without a pending run-ahead pool", c.id)
+		}
 		switch c.st {
 		case running:
 			inHeap++
@@ -217,6 +294,9 @@ func (e *Engine) Audit() error {
 	if waiters != e.lockWaiters {
 		return fmt.Errorf("vclock: lockWaiters=%d but %d vCPUs are in lockWait", e.lockWaiters, waiters)
 	}
+	if ahead != e.grantsOut {
+		return fmt.Errorf("vclock: grantsOut=%d but %d vCPUs hold run-ahead pools", e.grantsOut, ahead)
+	}
 	if s := e.solo; s != nil {
 		switch {
 		case e.soloOff:
@@ -229,6 +309,8 @@ func (e *Engine) Audit() error {
 			return fmt.Errorf("vclock: solo grant standing with %d lock waiters", e.lockWaiters)
 		case s.pendingLock != nil:
 			return fmt.Errorf("vclock: solo vCPU %d has a pending lock intent", s.id)
+		case s.ahead > 0:
+			return fmt.Errorf("vclock: solo vCPU %d still holds a run-ahead pool", s.id)
 		case !s.soloActive.Load():
 			return fmt.Errorf("vclock: solo grant not published to vCPU %d", s.id)
 		}
@@ -256,6 +338,24 @@ type CPU struct {
 	// (granting the lock or joining the waiter queue) without a park/wake
 	// round trip; see Engine.processRootLocked.
 	pendingLock *Lock
+
+	// ahead is the vCPU's uncommitted run-ahead pool: latency charges the
+	// horizon-parallel executor deferred so the goroutine could keep
+	// driving its segment instead of parking at the min-clock gate. The
+	// clock and heap key stay at the committed floor; the pool commits as
+	// one sum when the root cascade reaches this vCPU's slot
+	// (processRootLocked), which is exact because latency charges are
+	// order-insensitive — they read no schedule state and only their total
+	// matters. Accounted in Engine.grantsOut while positive. Guarded by
+	// e.mu.
+	ahead int64
+
+	// departing marks a finished vCPU waiting for its run-ahead pool to
+	// commit: the root cascade removes it from the schedule atomically at
+	// the commit slot, reproducing the serial engine's departure point (a
+	// finisher's last charge commits at the root and the removal follows
+	// before any later-slot vCPU runs). Guarded by e.mu.
+	departing bool
 
 	// lazy accumulates deferred charges (AdvanceLazy); owned by the
 	// driving goroutine, folded into now under e.mu at the next engine
@@ -307,7 +407,11 @@ func (e *Engine) maybeEnterSoloLocked() {
 		return
 	}
 	c := e.heap[0]
-	if c.pendingLock != nil || e.solo == c {
+	// A vCPU with an uncommitted run-ahead pool (or one departing through
+	// the root cascade) is not eligible: solo fast-path operations never
+	// reach the engine, so the pool would not commit. The pool drains at
+	// the vCPU's next gated operation, which re-checks eligibility.
+	if c.pendingLock != nil || c.ahead > 0 || c.departing || e.solo == c {
 		return
 	}
 	if e.solo != nil {
@@ -528,7 +632,7 @@ func (e *Engine) Makespan() int64 {
 	defer e.mu.Unlock()
 	var m int64
 	for _, c := range e.cpus {
-		t := c.now + c.lazy
+		t := c.now + c.ahead + c.lazy
 		if t > m {
 			m = t
 		}
@@ -547,21 +651,128 @@ func (e *Engine) wakeLocked(c *CPU) {
 	}
 }
 
+// applyChargeLocked commits a pure clock charge at c's current virtual
+// slot, dilating Compute charges by the runnable/core ratio. Caller holds
+// e.mu.
+func (e *Engine) applyChargeLocked(c *CPU, d int64, compute bool) {
+	if compute && e.cores > 0 {
+		if r := len(e.heap); r > e.cores {
+			d = d * int64(r) / int64(e.cores)
+		}
+	}
+	c.now += d
+	c.Advanced += d
+	e.siftDown(c.hi)
+}
+
+// foldLocked folds pending lazy time into the run-ahead pool when one is
+// outstanding — the lazy stretch precedes any new engine-ordered action, so
+// it must commit with (and not before) the pooled charges — or directly
+// into the clock otherwise, exactly as the serial engine does. Caller holds
+// e.mu.
+func (c *CPU) foldLocked() {
+	if c.ahead > 0 {
+		c.ahead += c.lazy
+		c.lazy = 0
+		return
+	}
+	c.flushLazyLocked()
+}
+
+// runAheadLocked runs one latency charge through the horizon-parallel
+// executor; it returns true when the charge has been pooled (the caller
+// returns without parking) and false when the caller must take the serial
+// gated path.
+//
+// Pooling is serial-equivalent because a latency charge is exact and
+// order-insensitive: it reads no schedule state (unlike Compute, whose
+// dilation reads the runnable count), moves only its own vCPU's clock, and
+// its effects on every other vCPU are fully summarized by the clock's
+// eventual value. The pool commits as one sum when the root cascade
+// reaches this vCPU's committed floor (processRootLocked) — the same
+// virtual slot at which the serial engine would have committed the first
+// pooled charge — and the vCPU's heap key never moves before that instant,
+// so every gated operation of every other vCPU still waits on exactly the
+// serial schedule's ordering. The segment the vCPU keeps driving touches
+// only per-vCPU state by the gate-first rule: any shared-state touch gates
+// (Sync/Acquire) and therefore drains the pool first.
+//
+// Caller holds e.mu.
+func (e *Engine) runAheadLocked(c *CPU, d int64) bool {
+	if c.ahead > 0 && e.par > 0 {
+		// Already running ahead: extend the pool. When we are the root the
+		// cascade can make no progress until the pool commits, so drain it
+		// inline rather than waiting for another vCPU's operation.
+		c.ahead += c.lazy + d
+		c.lazy = 0
+		e.parGrants++
+		if e.heap[0] == c {
+			e.processRootLocked()
+		}
+		return true
+	}
+	if e.par == 0 || c.ahead > 0 || e.grantsOut >= e.par {
+		// Executor off (any outstanding pool drains through the serial
+		// path's gate) or the worker budget is exhausted.
+		return false
+	}
+	// The serial engine folds pending lazy time into the clock before
+	// gating, so the vCPU's slot for this charge — the committed floor the
+	// pool waits at, and the (clock, id) key every other vCPU orders
+	// against — must include it. Flush first, then decide rootness.
+	c.flushLazyLocked()
+	if e.heap[0] == c {
+		// Park-free root: the serial path commits immediately anyway.
+		return false
+	}
+	c.ahead = d
+	e.grantsOut++
+	e.parGrants++
+	return true
+}
+
 // processRootLocked drives the schedule forward after any change to the
 // runnable heap. It examines the vCPU at the heap root: a parked root that
-// declared a lock intent is serviced inline — the lock is granted or the
-// vCPU moves to the waiter queue at exactly the virtual instant it would
-// have acted itself — which may promote a new root, so the loop cascades.
-// A root without an intent is woken if parked. Servicing intents inline
-// saves a park/wake round trip per contended acquisition: the acquirer
-// parks once and wakes only when it actually owns the lock. Caller holds
-// e.mu.
+// declared a lock intent or a pure clock charge is serviced inline — the
+// lock is granted, the vCPU moves to the waiter queue, or the charge is
+// applied, all at exactly the virtual instant the vCPU would have acted
+// itself — which may promote a new root, so the loop cascades. A root
+// without an intent is woken if parked. Servicing intents inline saves a
+// park/wake round trip per contended acquisition: the acquirer parks once
+// and wakes only when it actually owns the lock. Caller holds e.mu.
 func (e *Engine) processRootLocked() {
 	if e.aborted {
 		return
 	}
 	for len(e.heap) > 0 {
 		r := e.heap[0]
+		if r.ahead > 0 {
+			// Commit r's run-ahead pool at exactly its slot and keep
+			// cascading. A departing r (its goroutine finished while the
+			// pool was pending) leaves the schedule atomically at the
+			// commit: the serial engine removes a finisher immediately
+			// after its last charge commits at the root, before any
+			// later-slot vCPU is rescheduled, and this reproduces that
+			// departure point by construction.
+			d := r.ahead
+			r.ahead = 0
+			e.grantsOut--
+			r.now += d
+			r.Advanced += d
+			if r.departing {
+				r.flushLazyLocked()
+				e.heapRemove(r)
+				r.st = done
+				e.wakeLocked(r)
+				continue
+			}
+			e.siftDown(r.hi)
+			// r may be parked in a gate behind its own pool; it is the
+			// root's wake either way if still minimal, but the commit may
+			// also have demoted it, so signal it directly.
+			e.wakeLocked(r)
+			continue
+		}
 		l := r.pendingLock
 		if l == nil {
 			e.wakeLocked(r)
@@ -606,16 +817,19 @@ func (e *Engine) sleepLocked(c *CPU) {
 	e.checkAbortLocked()
 }
 
-// gateLocked blocks until c holds the global minimum clock. Caller holds
-// e.mu; the lock is held on return.
+// gateLocked blocks until c holds the global minimum clock with no
+// uncommitted run-ahead pool (the pool commits through the cascade at c's
+// floor slot before the gate can be satisfied, so the caller's operation
+// lands strictly after every pooled charge). Caller holds e.mu; the lock is
+// held on return.
 //
 // Before parking, the current minimum is signalled: the caller may have just
 // changed the ordering (e.g. by folding lazy charges into its clock) without
 // any other notification reaching the vCPU that now holds the minimum.
 func (e *Engine) gateLocked(c *CPU) {
-	for e.heap[0] != c {
+	for e.heap[0] != c || c.ahead > 0 {
 		e.processRootLocked()
-		if e.heap[0] == c {
+		if e.heap[0] == c && c.ahead == 0 {
 			// Servicing parked intents promoted us to the root; do not
 			// park — nobody is left to wake us.
 			return
@@ -642,16 +856,21 @@ func (c *CPU) flushLazyLocked() {
 // ID returns the vCPU's stable identifier.
 func (c *CPU) ID() int { return c.id }
 
-// Now returns the vCPU's current virtual time including pending lazy charges.
+// Now returns the vCPU's current virtual time including pending lazy charges
+// and any uncommitted run-ahead pool — the vCPU's own observations (trace
+// timestamps in particular) must be exact regardless of how its charges are
+// batched for commit.
 func (c *CPU) Now() int64 {
 	if c.soloFast() {
+		// Solo implies no pooled run-ahead (the grant guard requires an
+		// empty pool and the solo path never creates one).
 		t := c.now + c.lazy
 		c.soloEnd()
 		return t
 	}
 	c.e.mu.Lock()
 	defer c.e.mu.Unlock()
-	return c.now + c.lazy
+	return c.now + c.ahead + c.lazy
 }
 
 // AdvanceLazy charges d nanoseconds without synchronizing with the engine.
@@ -676,9 +895,12 @@ func (c *CPU) AdvanceLazy(d int64) {
 //
 // Advance gates on the min-clock before committing the charge: workload code
 // between engine operations therefore runs only in its vCPU's virtual-time
-// slot, which is what lets backend code mutate shared simulator state
-// (allocators, page-table maps) without Go-level synchronization. Gating only
-// at Acquire/Sync would let that code race in real time.
+// slot. Under the horizon-parallel executor (SetParallel) the charge may
+// instead be pooled — the vCPU keeps running while its clock stays at the
+// committed floor until the root cascade reaches its slot — which is
+// serial-equivalent because latency charges are exact and order-insensitive
+// and every shared-state touch gates first (Sync/Acquire), draining the
+// pool; see runAheadLocked.
 func (c *CPU) Advance(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative advance %d", d))
@@ -696,11 +918,12 @@ func (c *CPU) Advance(d int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.checkAbortLocked()
-	c.flushLazyLocked()
+	if e.runAheadLocked(c, d) {
+		return
+	}
+	c.foldLocked()
 	e.gateLocked(c)
-	c.now += d
-	c.Advanced += d
-	e.siftDown(c.hi)
+	e.applyChargeLocked(c, d, false)
 	e.processRootLocked()
 	e.maybeEnterSoloLocked()
 }
@@ -708,6 +931,11 @@ func (c *CPU) Advance(d int64) {
 // Compute charges d nanoseconds of CPU-bound work. When more vCPUs are
 // runnable than the engine's simulated core count, the charge is dilated
 // proportionally, modeling timeslicing on an oversubscribed machine.
+//
+// Compute always takes the gated path, even under the horizon-parallel
+// executor: the dilation reads the runnable count, so the charge must
+// commit at exactly its virtual slot — and its amount must be known
+// immediately, because the vCPU's subsequent trace timestamps include it.
 func (c *CPU) Compute(d int64) {
 	if d < 0 {
 		panic(fmt.Sprintf("vclock: negative compute %d", d))
@@ -725,16 +953,9 @@ func (c *CPU) Compute(d int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.checkAbortLocked()
-	c.flushLazyLocked()
+	c.foldLocked()
 	e.gateLocked(c)
-	if e.cores > 0 {
-		if r := len(e.heap); r > e.cores {
-			d = d * int64(r) / int64(e.cores)
-		}
-	}
-	c.now += d
-	c.Advanced += d
-	e.siftDown(c.hi)
+	e.applyChargeLocked(c, d, true)
 	e.processRootLocked()
 	e.maybeEnterSoloLocked()
 }
@@ -757,7 +978,7 @@ func (c *CPU) Sync() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.checkAbortLocked()
-	c.flushLazyLocked()
+	c.foldLocked()
 	e.gateLocked(c)
 	e.processRootLocked()
 	e.maybeEnterSoloLocked()
@@ -771,6 +992,42 @@ func (c *CPU) Done() {
 	defer e.mu.Unlock()
 	if e.solo == c {
 		e.exitSoloLocked()
+	}
+	if c.ahead > 0 && c.hi >= 0 && !e.aborted {
+		// An uncommitted run-ahead pool is pending: departures change the
+		// runnable count other vCPUs read (Compute dilation), so the vCPU
+		// may leave only at the pool's commit slot. Mark it departing and
+		// let the root cascade commit the pool and remove it atomically
+		// (processRootLocked), exactly where the serial engine removes a
+		// finisher — its last charge commits at the root and the removal
+		// follows before any later-slot vCPU runs. Park until then; this
+		// wait loop must not panic (Done also drains aborted runs), so it
+		// re-checks aborted instead of using sleepLocked.
+		c.departing = true
+		e.processRootLocked()
+		for c.hi >= 0 && !e.aborted {
+			c.waiting = true
+			e.mu.Unlock()
+			<-c.wake
+			e.mu.Lock()
+			c.waiting = false
+		}
+		c.departing = false
+		if c.hi < 0 {
+			// The cascade completed our departure; the population may
+			// have dropped to one in the process.
+			e.maybeEnterSoloLocked()
+			return
+		}
+		// Aborted while parked: fall through and drain.
+	}
+	if c.ahead > 0 {
+		// Aborted (ordering is void) — commit the pool for accounting and
+		// return the worker-budget slot so the audit invariants hold.
+		c.now += c.ahead
+		c.Advanced += c.ahead
+		c.ahead = 0
+		e.grantsOut--
 	}
 	c.flushLazyLocked()
 	if c.hi >= 0 {
@@ -890,9 +1147,13 @@ func (l *Lock) Acquire(c *CPU) {
 		// grant is useless while we park as a waiter.
 		e.exitSoloLocked()
 	}
-	c.flushLazyLocked()
-	if e.heap[0] == c {
-		// Already at our virtual slot: decide inline.
+	c.foldLocked()
+	if e.heap[0] == c && c.ahead == 0 {
+		// Already at our virtual slot with no pooled run-ahead: decide
+		// inline. (With a pool pending our committed slot is earlier than
+		// our real position; fall through to the intent path and let the
+		// root cascade commit the pool and then service the intent, both
+		// at the exact serial instants.)
 		if l.held {
 			// Park until a release hands the lock to us.
 			c.st = lockWait
@@ -968,7 +1229,7 @@ func (l *Lock) Release(c *CPU) {
 	if !l.held || l.holder != c {
 		panic("vclock: release of " + l.name + " by non-holder")
 	}
-	c.flushLazyLocked()
+	c.foldLocked()
 	e.gateLocked(c)
 	l.heldTime += c.now - l.lastAcquire
 	l.freeAt = c.now
