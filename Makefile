@@ -20,25 +20,26 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./internal/vclock/... ./internal/experiments/... ./internal/check/...
 
-# fuzz sweeps the full metamorphic corpus (11 variants per seed, including
-# the horizon-parallel engine at worker budgets 2 and 4) plus the backend
-# differential grids without the race detector's slowdown.
+# fuzz sweeps the full metamorphic corpus (12 variants per seed, including
+# the horizon-parallel engine at worker budgets 2 and 4 and the lifecycle
+# fast lane disabled) plus the backend differential grids without the race
+# detector's slowdown.
 fuzz:
-	$(GO) test -count=1 -run 'TestMetamorphicCorpus|TestSoloBypassDifferential|TestParallelEngineDifferential' ./internal/check/
-	$(GO) test -count=1 -run 'TestRangedAccessEquivalence' ./internal/backend/
+	$(GO) test -count=1 -run 'TestMetamorphicCorpus|TestSoloBypassDifferential|TestParallelEngineDifferential|TestLifecycleFastLaneDifferential' ./internal/check/
+	$(GO) test -count=1 -run 'TestRangedAccessEquivalence|TestForkTeardownEquivalence' ./internal/backend/
 
-# bench regenerates BENCH_pr7.json: the TouchRange, ColdFault, and
-# MultiVCPUContention grids across all five MMU backends plus the serial and
-# engine-parallel default-grid wall clocks (compared against BENCH_pr3.json's
-# baseline).
+# bench regenerates BENCH_pr8.json: the TouchRange, ColdFault,
+# ProcessLifecycle, and MultiVCPUContention grids across all five MMU
+# backends plus the serial and engine-parallel default-grid wall clocks
+# (compared against BENCH_pr7.json's baseline).
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_pr7.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr8.json
 
 # bench-diff compares the two most recent bench artifacts cell by cell and
 # fails on regressions beyond the default threshold; it refuses to compare
 # artifacts measured at different benchtimes or host parallelism.
 bench-diff:
-	$(GO) run ./cmd/benchreport -diff BENCH_pr3.json BENCH_pr7.json
+	$(GO) run ./cmd/benchreport -diff BENCH_pr7.json BENCH_pr8.json
 
 # microbench runs the low-level hot-path benchmarks of the simulator core.
 microbench:

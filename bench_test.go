@@ -360,3 +360,86 @@ func BenchmarkConcurrentMembench(b *testing.B) {
 		sys.Eng.Wait()
 	}
 }
+
+// Process-lifecycle benchmarks: ns/op is the simulator's cost per lifecycle
+// operation on a resident image of the given size — `fork` is the lat_proc
+// cycle (fork a COW child that exits immediately: structural clone plus
+// shared-image teardown), `forkexit` additionally has the child dirty an
+// eighth of the image before exiting (COW breaks plus mixed-refcount
+// teardown), and `exec` replaces the whole image (bulk teardown plus
+// refault). The PerLeaf variants run the retained per-leaf reference paths
+// via SetLifecycleBypass; BENCH_pr8.json pairs them per backend and image
+// size, and TestForkTeardownEquivalence proves the pairs observationally
+// identical.
+
+var lifecycleImageSizes = []int{256, 1024} // 1 MiB and 4 MiB resident
+
+func benchProcessLifecycle(b *testing.B, cfg Config, direct bool, op string, pages int, perLeaf bool) {
+	if perLeaf {
+		SetLifecycleBypass(true)
+		defer SetLifecycleBypass(false)
+	}
+	opt := DefaultOptions()
+	opt.DirectPaging = direct
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(0, 4, func(p *Process) {
+		base := p.Mmap(pages)
+		p.TouchRange(base, pages, true) // resident image
+		for i := 0; i < n; i++ {
+			switch op {
+			case "fork":
+				child, err := p.Fork(nil)
+				if err != nil {
+					panic(err)
+				}
+				if err := child.Exit(); err != nil {
+					panic(err)
+				}
+			case "forkexit":
+				child, err := p.Fork(nil)
+				if err != nil {
+					panic(err)
+				}
+				child.TouchRange(base, pages/8, true) // COW breaks
+				if err := child.Exit(); err != nil {
+					panic(err)
+				}
+			case "exec":
+				if err := p.Exec(pages); err != nil {
+					panic(err)
+				}
+			}
+		}
+	})
+	sys.Eng.Wait()
+}
+
+func benchLifecycleGrid(b *testing.B, op string, perLeaf bool) {
+	for _, c := range touchRangeConfigs {
+		for _, pages := range lifecycleImageSizes {
+			c, pages := c, pages
+			b.Run(fmt.Sprintf("%s/pages=%d", c.name, pages), func(b *testing.B) {
+				benchProcessLifecycle(b, c.cfg, c.direct, op, pages, perLeaf)
+			})
+		}
+	}
+}
+
+func BenchmarkProcessLifecycle(b *testing.B) {
+	for _, op := range []string{"fork", "forkexit", "exec"} {
+		b.Run(op, func(b *testing.B) { benchLifecycleGrid(b, op, false) })
+	}
+}
+
+func BenchmarkProcessLifecyclePerLeaf(b *testing.B) {
+	for _, op := range []string{"fork", "forkexit", "exec"} {
+		b.Run(op, func(b *testing.B) { benchLifecycleGrid(b, op, true) })
+	}
+}

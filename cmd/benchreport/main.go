@@ -1,10 +1,11 @@
 // Command benchreport produces the PR's before/after performance artifact
-// (BENCH_pr7.json by default): it runs the TouchRange, ColdFault, and
-// MultiVCPUContention benchmark grids — each fast path against its reference
-// implementation for every MMU backend — pairs the ns/op numbers into
-// speedups, times the default-scale experiment grid serially and under the
-// horizon-parallel engine, and emits one JSON document stamped with the
-// host's parallelism (GOMAXPROCS) and the engine worker budget.
+// (BENCH_pr8.json by default): it runs the TouchRange, ColdFault,
+// ProcessLifecycle, and MultiVCPUContention benchmark grids — each fast path
+// against its reference implementation for every MMU backend — pairs the
+// ns/op numbers into speedups, times the default-scale experiment grid
+// serially and under the horizon-parallel engine, and emits one JSON document
+// stamped with the host's parallelism (GOMAXPROCS) and the engine worker
+// budget.
 //
 // With -diff it instead compares two previously generated artifacts and
 // reports per-cell speedups, flagging regressions beyond -threshold. A diff
@@ -12,9 +13,9 @@
 // or different host parallelism: such numbers differ for reasons that have
 // nothing to do with the code under test.
 //
-//	go run ./cmd/benchreport -out BENCH_pr7.json
+//	go run ./cmd/benchreport -out BENCH_pr8.json
 //	go run ./cmd/benchreport -benchtime 500000x -skip-grid
-//	go run ./cmd/benchreport -diff BENCH_pr3.json BENCH_pr7.json
+//	go run ./cmd/benchreport -diff BENCH_pr7.json BENCH_pr8.json
 package main
 
 import (
@@ -46,6 +47,11 @@ var coldLine = regexp.MustCompile(`^BenchmarkColdFault(Range)?/(\w+?)(?:-\d+)?\s
 // horizon-parallel executor.
 var contLine = regexp.MustCompile(`^BenchmarkMultiVCPUContention/(\w+)/(vcpus=\d+)/(serial|parallel)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
 
+// lcLine matches one ProcessLifecycle cell: the structural fast lane (fork
+// page-table cloning, bulk subtree teardown) against the per-leaf reference
+// lane (the PerLeaf variant), per operation, backend, and image size.
+var lcLine = regexp.MustCompile(`^BenchmarkProcessLifecycle(PerLeaf)?/(fork|forkexit|exec)/(\w+?)/(pages=\d+)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
 // pair is one backend's ranged-vs-reference measurement.
 type pair struct {
 	RangedNs  float64 `json:"ranged_ns_per_page"`
@@ -67,6 +73,14 @@ type contCell struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// lcPair is one process-lifecycle cell: the structural fast lane against the
+// per-leaf reference lane, both producing bit-identical simulations.
+type lcPair struct {
+	FastNs    float64 `json:"fast_ns_per_op"`
+	PerLeafNs float64 `json:"per_leaf_ns_per_op"`
+	Speedup   float64 `json:"speedup"`
+}
+
 type gridTiming struct {
 	Command         string  `json:"command"`
 	BaselineWallS   float64 `json:"baseline_wall_clock_s,omitempty"`
@@ -83,6 +97,9 @@ type report struct {
 	// ContentionBenchtime is the separate -benchtime of the
 	// MultiVCPUContention grid; -diff refuses mismatches the same way.
 	ContentionBenchtime string `json:"contention_benchtime,omitempty"`
+	// LifecycleBenchtime is the separate -benchtime of the ProcessLifecycle
+	// grid (each op is a whole fork or exec); -diff refuses mismatches.
+	LifecycleBenchtime string `json:"lifecycle_benchtime,omitempty"`
 	// GOMAXPROCS is the host parallelism the numbers were measured under;
 	// -diff refuses to compare artifacts that disagree on it.
 	GOMAXPROCS int `json:"gomaxprocs,omitempty"`
@@ -91,6 +108,7 @@ type report struct {
 	Notes         []string                    `json:"notes"`
 	TouchRange    map[string]map[string]*pair `json:"touch_range_ns_per_page"`
 	ColdFault     map[string]*pair            `json:"cold_fault_ns_per_page,omitempty"`
+	Lifecycle     map[string]*lcPair          `json:"process_lifecycle_ns_per_op,omitempty"`
 	MultiVCPU     map[string]*contCell        `json:"multi_vcpu_contention_ns_per_page,omitempty"`
 	Grid          *gridTiming                 `json:"default_grid,omitempty"`
 	GridParallel  *gridTiming                 `json:"default_grid_engine_parallel,omitempty"`
@@ -98,12 +116,13 @@ type report struct {
 
 func main() {
 	var (
-		out           = flag.String("out", "BENCH_pr7.json", "output `file`")
+		out           = flag.String("out", "BENCH_pr8.json", "output `file`")
 		benchtime     = flag.String("benchtime", "2000000x", "-benchtime passed to go test")
 		count         = flag.Int("count", 3, "-count passed to go test (best ns/op per cell is kept)")
 		skipGrid      = flag.Bool("skip-grid", false, "skip the default-grid wall-clock timings")
 		contBenchtime = flag.String("contention-benchtime", "500000x", "-benchtime for the MultiVCPUContention grid (heavier per op than the page grids)")
-		baseline      = flag.String("baseline", "BENCH_pr3.json", "prior bench artifact to read the baseline grid wall clock from (empty = none)")
+		lcBenchtime   = flag.String("lifecycle-benchtime", "2000x", "-benchtime for the ProcessLifecycle grid (each op is a whole fork/exec cycle)")
+		baseline      = flag.String("baseline", "BENCH_pr7.json", "prior bench artifact to read the baseline grid wall clock from (empty = none)")
 		diffMode      = flag.Bool("diff", false, "compare two artifacts: benchreport -diff old.json new.json")
 		threshold     = flag.Float64("threshold", 1.10, "with -diff, fail if any new ranged ns/op exceeds old by this factor (0 disables)")
 		force         = flag.Bool("force", false, "with -diff, compare despite mismatched benchtime or host parallelism (numbers are not like-for-like)")
@@ -119,11 +138,12 @@ func main() {
 	}
 
 	rep := report{
-		PR:                  "horizon-parallel vclock engine",
+		PR:                  "process-lifecycle fast lane",
 		Date:                time.Now().Format("2006-01-02"),
 		Host:                fmt.Sprintf("%s/%s, GOMAXPROCS=%d", runtime.GOOS, runtime.GOARCH, runtime.GOMAXPROCS(0)),
 		Benchtime:           *benchtime,
 		ContentionBenchtime: *contBenchtime,
+		LifecycleBenchtime:  *lcBenchtime,
 		GOMAXPROCS:          runtime.GOMAXPROCS(0),
 		EngineWorkers:       contentionWorkers,
 		Notes: []string{
@@ -132,6 +152,7 @@ func main() {
 			"resident sweeps a 1024-page working set inside the 1536-entry TLB (steady-state all hits); faulting maps+touches+unmaps so every page replays the full miss choreography",
 			"cold_fault spawns a fresh solo process per 512-page chunk so every touch is a demand-zero fault against empty tables: the solo-vCPU engine bypass + bulk leaf population workload",
 			"multi_vcpu_contention runs the same N-process fault/map/unmap workload under the serial engine and under the horizon-parallel executor (EngineWorkers=4); the two schedules are bit-identical, so the pair isolates the host-side dispatch win",
+			"process_lifecycle pairs the structural lifecycle fast lane (fork by level-order page-table cloning with batched COW refcounting, exec/exit by bulk subtree teardown) against the per-leaf reference lane; fork = Fork+child Exit on a resident image, forkexit adds a COW touch pass in the child, exec replaces the image in place — both lanes produce bit-identical simulations",
 			"the parallel executor's wall-clock win requires GOMAXPROCS > 1: on a single-hardware-thread host its cells demonstrate parity (no regression), not speedup — -diff refuses to compare artifacts across host parallelism for this reason",
 			"minimum ns/op of -count runs per cell after a discarded warmup pass",
 		},
@@ -140,10 +161,11 @@ func main() {
 			"faulting": {},
 		},
 		ColdFault: map[string]*pair{},
+		Lifecycle: map[string]*lcPair{},
 		MultiVCPU: map[string]*contCell{},
 	}
 
-	if err := runBenchmarks(&rep, *benchtime, *contBenchtime, *count); err != nil {
+	if err := runBenchmarks(&rep, *benchtime, *contBenchtime, *lcBenchtime, *count); err != nil {
 		fmt.Fprintf(os.Stderr, "benchreport: %v\n", err)
 		os.Exit(1)
 	}
@@ -177,15 +199,16 @@ func main() {
 }
 
 // runBenchmarks shells out to `go test -bench` for the TouchRange/ColdFault
-// grids and (at its own, shorter benchtime — each op is a whole contended
-// page) the MultiVCPUContention grid, folding the parsed ns/op numbers into
-// rep. With -count > 1, the minimum ns/op per cell is kept (the usual noise
-// filter on a shared host). A short discarded warmup pass runs first so the
-// first cell of the measured grid does not pay the cold-start penalty
-// (build cache, CPU frequency ramp).
-func runBenchmarks(rep *report, benchtime, contBenchtime string, count int) error {
+// grids and (each at its own, shorter benchtime — one op is a whole contended
+// page, or a whole fork) the MultiVCPUContention and ProcessLifecycle grids,
+// folding the parsed ns/op numbers into rep. With -count > 1, the minimum
+// ns/op per cell is kept (the usual noise filter on a shared host). A short
+// discarded warmup pass runs first so the first cell of the measured grid
+// does not pay the cold-start penalty (build cache, CPU frequency ramp).
+func runBenchmarks(rep *report, benchtime, contBenchtime, lcBenchtime string, count int) error {
 	const pagePattern = "Benchmark(TouchRange(Resident|Faulting)(PerPage)?|ColdFault(Range)?)/"
 	const contPattern = "BenchmarkMultiVCPUContention/"
+	const lcPattern = "BenchmarkProcessLifecycle(PerLeaf)?/"
 	warm := exec.Command("go", "test", "-run", "^$",
 		"-bench", pagePattern,
 		"-benchtime", "100000x", ".")
@@ -202,6 +225,11 @@ func runBenchmarks(rep *report, benchtime, contBenchtime string, count int) erro
 		return err
 	}
 	raw = append(raw, contRaw...)
+	lcRaw, err := runBenchPass(lcPattern, lcBenchtime, count)
+	if err != nil {
+		return err
+	}
+	raw = append(raw, lcRaw...)
 
 	return parseBenchLines(rep, raw)
 }
@@ -236,7 +264,22 @@ func parseBenchLines(rep *report, raw []byte) error {
 	perPage := map[cell]float64{}
 	serialVCPU := map[string]float64{}
 	parallelVCPU := map[string]float64{}
+	lcFast := map[string]float64{}
+	lcPerLeaf := map[string]float64{}
 	for _, line := range regexp.MustCompile(`\r?\n`).Split(string(raw), -1) {
+		if m := lcLine.FindStringSubmatch(line); m != nil {
+			var ns float64
+			fmt.Sscanf(m[5], "%g", &ns)
+			dst := lcFast
+			if m[1] == "PerLeaf" {
+				dst = lcPerLeaf
+			}
+			key := m[2] + "/" + m[3] + "/" + m[4]
+			if old, ok := dst[key]; !ok || ns < old {
+				dst[key] = ns
+			}
+			continue
+		}
 		if m := contLine.FindStringSubmatch(line); m != nil {
 			var ns float64
 			fmt.Sscanf(m[4], "%g", &ns)
@@ -312,6 +355,17 @@ func parseBenchLines(rep *report, raw []byte) error {
 			Speedup:    round2(ref / ns),
 		}
 	}
+	for key, ns := range lcFast {
+		ref, ok := lcPerLeaf[key]
+		if !ok {
+			continue
+		}
+		rep.Lifecycle[key] = &lcPair{
+			FastNs:    ns,
+			PerLeafNs: ref,
+			Speedup:   round2(ref / ns),
+		}
+	}
 	return nil
 }
 
@@ -355,6 +409,16 @@ func diffReports(oldPath, newPath string, threshold float64, force bool) int {
 		fmt.Printf("WARNING: comparing across contention benchtime %s vs %s (-force)\n",
 			oldRep.ContentionBenchtime, newRep.ContentionBenchtime)
 	}
+	if oldRep.LifecycleBenchtime != "" && newRep.LifecycleBenchtime != "" &&
+		oldRep.LifecycleBenchtime != newRep.LifecycleBenchtime {
+		if !force {
+			fmt.Fprintf(os.Stderr, "benchreport: refusing to diff: lifecycle benchtime %s (%s) vs %s (%s); -force overrides\n",
+				oldRep.LifecycleBenchtime, oldPath, newRep.LifecycleBenchtime, newPath)
+			return 2
+		}
+		fmt.Printf("WARNING: comparing across lifecycle benchtime %s vs %s (-force)\n",
+			oldRep.LifecycleBenchtime, newRep.LifecycleBenchtime)
+	}
 	if oldRep.GOMAXPROCS != 0 && newRep.GOMAXPROCS != 0 && oldRep.GOMAXPROCS != newRep.GOMAXPROCS {
 		if !force {
 			fmt.Fprintf(os.Stderr, "benchreport: refusing to diff: host parallelism GOMAXPROCS=%d (%s) vs GOMAXPROCS=%d (%s); -force overrides\n",
@@ -392,6 +456,24 @@ func diffReports(oldPath, newPath string, threshold float64, force bool) int {
 	}
 	for _, cfg := range sortedKeys(oldRep.ColdFault, newRep.ColdFault) {
 		compare("cold_fault/"+cfg, oldRep.ColdFault[cfg], newRep.ColdFault[cfg])
+	}
+	for _, key := range sortedKeys(oldRep.Lifecycle, newRep.Lifecycle) {
+		o, n := oldRep.Lifecycle[key], newRep.Lifecycle[key]
+		name := "lifecycle/" + key
+		switch {
+		case o == nil:
+			fmt.Printf("%-34s %12s %12.2f %9s\n", name, "-", n.FastNs, "new")
+		case n == nil:
+			fmt.Printf("%-34s %12.2f %12s %9s\n", name, o.FastNs, "-", "gone")
+		default:
+			mark := ""
+			if threshold > 0 && n.FastNs > o.FastNs*threshold {
+				mark = "  REGRESSION"
+				regressed++
+			}
+			fmt.Printf("%-34s %12.2f %12.2f %8.2fx%s\n", name,
+				o.FastNs, n.FastNs, o.FastNs/n.FastNs, mark)
+		}
 	}
 	for _, key := range sortedKeys(oldRep.MultiVCPU, newRep.MultiVCPU) {
 		o, n := oldRep.MultiVCPU[key], newRep.MultiVCPU[key]

@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/guest"
 	"repro/internal/pagetable"
 )
 
@@ -91,6 +92,17 @@ func cursorBypassOn(on bool, fn func()) {
 	if on {
 		pagetable.SetCursorBypass(true)
 		defer pagetable.SetCursorBypass(false)
+	}
+	fn()
+}
+
+// lifecycleBypassOn applies the guest process-lifecycle bypass (per-leaf
+// fork copy and teardown instead of the structural fast lane) for the
+// duration of fn, under the same serialization contract as cursorBypassOn.
+func lifecycleBypassOn(on bool, fn func()) {
+	if on {
+		guest.SetLifecycleBypass(true)
+		defer guest.SetLifecycleBypass(false)
 	}
 	fn()
 }

@@ -193,19 +193,21 @@ func genOps(r *rng, n, depth int) []Op {
 			ops = append(ops, Op{Kind: OpMunmap, Sel: r.intn(1 << 16)})
 		case w < 64:
 			ops = append(ops, Op{Kind: OpMprotect, Sel: r.intn(1 << 16), Write: r.chance(50)})
-		case w < 70:
+		case w < 72:
+			// Fork and exec carry more weight since PR 8 so the nightly
+			// fuzz window keeps the process-lifecycle fast lane hot.
 			if depth < 2 {
 				ops = append(ops, Op{Kind: OpFork, Child: genOps(r, r.between(6, 14), depth+1)})
 			} else {
 				ops = append(ops, Op{Kind: OpSyscall, Arg: int64(r.between(0, 2000))})
 			}
-		case w < 72:
+		case w < 75:
 			ops = append(ops, Op{Kind: OpExec, Pages: r.between(2, 8)})
-		case w < 80:
+		case w < 82:
 			ops = append(ops, Op{Kind: OpSyscall, Arg: int64(r.between(0, 2000))})
-		case w < 86:
+		case w < 87:
 			ops = append(ops, Op{Kind: OpCompute, Arg: int64(r.between(100, 5000))})
-		case w < 91:
+		case w < 92:
 			// OpHLT is excluded: Halt parks the vCPU, which is a
 			// liveness question, not a translation one.
 			privs := []arch.PrivOp{
@@ -213,7 +215,7 @@ func genOps(r *rng, n, depth int) []Op {
 				arch.OpCPUID, arch.OpPIO, arch.OpIret, arch.OpWriteCR3,
 			}
 			ops = append(ops, Op{Kind: OpPriv, Priv: privs[r.intn(len(privs))]})
-		case w < 94:
+		case w < 95:
 			ops = append(ops, Op{Kind: OpBlockIO, N: r.between(1, 4), Arg: int64(r.between(512, 16384))})
 		case w < 97:
 			ops = append(ops, Op{Kind: OpNetIO, N: r.between(1, 4), Arg: int64(r.between(64, 1500))})

@@ -20,6 +20,7 @@ type Variant struct {
 	SoloOff      bool // vclock solo-vCPU engine bypass off
 	CursorBypass bool // pagetable Mapper/Reader span caches off
 	Eager        bool // fused cost charging off: every lazy charge gates immediately
+	LifecycleOff bool // fork/exec/exit structural fast lane off: per-leaf reference paths
 	Workers      int  // ≥ 2: vclock horizon-parallel executor at that worker budget
 
 	// Fault injections, applied at every generated checkpoint.
@@ -39,11 +40,12 @@ func Variants() []Variant {
 		{Name: "drop-tlb-caches", DropTLBCaches: true},
 		{Name: "revoke-solo", RevokeSolo: true},
 		{Name: "spurious-sync", SpuriousSync: true},
+		{Name: "lifecycle-off", LifecycleOff: true},
 		{Name: "parallel-engine", Workers: 2},
 		{Name: "parallel-engine-4", Workers: 4},
 		{Name: "everything", ByPage: true, SoloOff: true, CursorBypass: true,
-			Eager: true, DropTLBCaches: true, RevokeSolo: true, SpuriousSync: true,
-			Workers: 4},
+			Eager: true, LifecycleOff: true, DropTLBCaches: true, RevokeSolo: true,
+			SpuriousSync: true, Workers: 4},
 	}
 }
 
@@ -59,7 +61,7 @@ func Run(p *Program, v Variant) (Observation, error) {
 func runVariant(p *Program, v Variant, inspect func(*backend.System)) (Observation, error) {
 	var o Observation
 	var runErr error
-	cursorBypassOn(v.CursorBypass, func() {
+	body := func() {
 		sys := backend.NewSystemWithParams(p.Cfg, p.Opt, p.Prm)
 		if inspect != nil {
 			defer func() { inspect(sys) }()
@@ -101,6 +103,9 @@ func runVariant(p *Program, v Variant, inspect func(*backend.System)) (Observati
 			return
 		}
 		o = Capture(sys)
+	}
+	cursorBypassOn(v.CursorBypass, func() {
+		lifecycleBypassOn(v.LifecycleOff, body)
 	})
 	return o, runErr
 }

@@ -410,7 +410,6 @@ func (p *Process) Fork(childCPU *vclock.CPU) (*Process, error) {
 		childCPU = p.CPU
 	}
 	k := p.K
-	prm := k.plat.Params()
 	k.plat.Counters().Forks.Add(1)
 
 	// PID assignment and the child's root-table frame come from
@@ -442,34 +441,27 @@ func (p *Process) Fork(childCPU *vclock.CPU) (*Process, error) {
 	// Copy the page-table image: parent's writable leaves become
 	// read-only (COW) — these stores hit the parent's *shadowed* GPT and
 	// trap; the child's fresh GPT is not yet shadowed, so building it
-	// does not trap.
-	type leafEnt struct {
-		va arch.VA
-		e  pagetable.Entry
+	// does not trap. The structural fast lane (lifecycle.go) clones whole
+	// tables; the per-leaf reference path is retained for the equivalence
+	// grids and must stay observationally identical.
+	var (
+		leaves int
+		taken  []shareRun
+		cerr   error
+	)
+	if lifecycleBypass {
+		leaves, taken, cerr = p.forkCopyPerLeaf(child)
+	} else {
+		leaves, taken, cerr = p.forkCopyClone(child)
 	}
-	var leaves []leafEnt
-	p.GPT.Range(func(va arch.VA, e pagetable.Entry) bool {
-		leaves = append(leaves, leafEnt{va, e})
-		return true
-	})
-	// Range yields leaves in ascending VA order, so both the parent's
-	// COW write-protect sweep and the child's population run through the
-	// span-cached cursors with one upper-level walk per 2 MiB.
-	for _, le := range leaves {
-		if le.e.Flags.Has(pagetable.Writable) {
-			p.CPU.AdvanceLazy(prm.PTEWrite)
-			p.gptMapper.Protect(le.va, le.e.Flags&^pagetable.Writable) // traps if shadowed
-		}
-		if err := k.GPA.Share(le.e.PFN); err != nil {
-			return nil, err
-		}
-		p.CPU.AdvanceLazy(prm.PTEWrite)
-		if _, err := child.gptMapper.Map(le.va, le.e.PFN, (le.e.Flags&^pagetable.Writable)&^(pagetable.Accessed|pagetable.Dirty)); err != nil {
-			return nil, err
-		}
+	if cerr != nil {
+		// Unwind the half-built child: its table frames and the reference
+		// counts already taken must not leak (the child was never entered
+		// into the process table or registered with the platform).
+		return nil, forkError(cerr, p.abortFork(child, taken))
 	}
 	// One TLB range invalidation covers all the COW write-protections.
-	k.plat.FlushRange(p, len(leaves))
+	k.plat.FlushRange(p, leaves)
 
 	k.mu.Lock()
 	k.procs[pid] = child
@@ -525,21 +517,11 @@ func (p *Process) Exit() error {
 func (p *Process) teardownAddressSpace() error {
 	p.K.plat.UnregisterProcess(p)
 	p.GPT.OnWrite = nil
-	p.gptMapper.Reset() // cached leaf must not outlive GPT.Destroy
-	var err error
-	p.GPT.Range(func(va arch.VA, e pagetable.Entry) bool {
-		if p.K.GPA.RefCount(e.PFN) == 1 {
-			p.K.plat.ReleasePage(p, va, e.PFN)
-		}
-		if _, err = p.K.GPA.Free(e.PFN); err != nil {
-			return false
-		}
-		return true
-	})
-	if err != nil {
-		return err
+	p.gptMapper.Reset() // cached leaf must not outlive the table teardown
+	if lifecycleBypass {
+		return p.teardownPerLeaf()
 	}
-	return p.GPT.Destroy()
+	return p.teardownSubtree()
 }
 
 // HandleFault is the guest kernel's page-fault handler, invoked by the

@@ -417,3 +417,156 @@ func TestMprotectPreservesCOW(t *testing.T) {
 		}
 	})
 }
+
+// newLimitedKernel is newTestKernel with a frame limit, so allocations can
+// fail mid-operation.
+func newLimitedKernel(limit int64) (*Kernel, *fakePlatform) {
+	f := newFakePlatform()
+	k := NewKernel(f, mem.NewAllocator("gpa", limit, 0x1000))
+	f.kern = k
+	return k, f
+}
+
+// TestForkUnwindLeaksNothing is the regression test for fork's mid-copy
+// error paths: when the child's table-frame allocation fails partway, the
+// half-built child GPT, its table frames, and the reference counts already
+// taken must all be returned — in both the structural fast lane and the
+// per-leaf reference lane. The limit sweep starts at the baseline footprint
+// plus one frame and walks upward so the failure lands at every stage of
+// the copy (first table, mid-leaves, deep subtree).
+func TestForkUnwindLeaksNothing(t *testing.T) {
+	const imagePages = 40
+	// Baseline footprint: a kernel with one resident process.
+	base, _ := newTestKernel()
+	var inUse int64
+	run(base, func(c *vclock.CPU) {
+		p, err := base.StartProcess(c, imagePages)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = p
+		inUse = base.GPA.InUse()
+	})
+	for _, lane := range []struct {
+		name    string
+		perLeaf bool
+	}{{"structural", false}, {"per-leaf", true}} {
+		t.Run(lane.name, func(t *testing.T) {
+			if lane.perLeaf {
+				SetLifecycleBypass(true)
+				defer SetLifecycleBypass(false)
+			}
+			failed := false
+			for extra := int64(1); extra <= 6; extra++ {
+				k, _ := newLimitedKernel(inUse + extra)
+				run(k, func(c *vclock.CPU) {
+					p, err := k.StartProcess(c, imagePages)
+					if err != nil {
+						t.Errorf("extra=%d: StartProcess: %v", extra, err)
+						return
+					}
+					before := k.GPA.InUse()
+					child, err := p.Fork(nil)
+					if err == nil {
+						// Enough headroom: the fork must be complete and
+						// coherent instead.
+						if child.ResidentPages() != p.ResidentPages() {
+							t.Errorf("extra=%d: child resident %d != parent %d",
+								extra, child.ResidentPages(), p.ResidentPages())
+						}
+						if err := child.Exit(); err != nil {
+							t.Errorf("extra=%d: child exit: %v", extra, err)
+						}
+						return
+					}
+					failed = true
+					if after := k.GPA.InUse(); after != before {
+						t.Errorf("extra=%d: failed fork leaked %d frames (%d -> %d)",
+							extra, after-before, before, after)
+					}
+					// The parent must remain fully usable: COW protections
+					// left behind resolve as sole-owner re-enables.
+					p.TouchRange(ImageBase, imagePages, true)
+					if err := p.Exit(); err != nil {
+						t.Errorf("extra=%d: parent exit after failed fork: %v", extra, err)
+					}
+					if leftover := k.GPA.InUse(); leftover != 0 {
+						t.Errorf("extra=%d: %d frames leaked after parent exit", extra, leftover)
+					}
+				})
+			}
+			if !failed {
+				t.Fatal("no fork in the limit sweep failed; regression test is vacuous")
+			}
+		})
+	}
+}
+
+// TestForkUnwindSharedFrames drives the unwind across a fork chain, where
+// the taken reference counts are on frames already shared with an earlier
+// child: the unwind must decrement them back without releasing them.
+func TestForkUnwindSharedFrames(t *testing.T) {
+	const imagePages = 24
+	base, _ := newTestKernel()
+	var inUse int64
+	run(base, func(c *vclock.CPU) {
+		p, err := base.StartProcess(c, imagePages)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		c1, err := p.Fork(nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_ = c1
+		inUse = base.GPA.InUse()
+	})
+	failed := false
+	for extra := int64(1); extra <= 4; extra++ {
+		k, _ := newLimitedKernel(inUse + extra)
+		run(k, func(c *vclock.CPU) {
+			p, err := k.StartProcess(c, imagePages)
+			if err != nil {
+				t.Errorf("extra=%d: %v", extra, err)
+				return
+			}
+			c1, err := p.Fork(nil)
+			if err != nil {
+				t.Errorf("extra=%d: first fork: %v", extra, err)
+				return
+			}
+			before := k.GPA.InUse()
+			sample, _ := p.GPT.Lookup(ImageBase)
+			rcBefore := k.GPA.RefCount(sample.PFN)
+			c2, err := p.Fork(nil) // second fork: rc would go 2 -> 3
+			if err == nil {
+				if err := c2.Exit(); err != nil {
+					t.Errorf("extra=%d: %v", extra, err)
+				}
+				return
+			}
+			failed = true
+			if after := k.GPA.InUse(); after != before {
+				t.Errorf("extra=%d: failed fork leaked %d frames", extra, after-before)
+			}
+			if rc := k.GPA.RefCount(sample.PFN); rc != rcBefore {
+				t.Errorf("extra=%d: shared frame rc %d after unwind, want %d", extra, rc, rcBefore)
+			}
+			if err := c1.Exit(); err != nil {
+				t.Errorf("extra=%d: %v", extra, err)
+			}
+			if err := p.Exit(); err != nil {
+				t.Errorf("extra=%d: %v", extra, err)
+			}
+			if leftover := k.GPA.InUse(); leftover != 0 {
+				t.Errorf("extra=%d: %d frames leaked after exits", extra, leftover)
+			}
+		})
+	}
+	if !failed {
+		t.Fatal("no second fork in the limit sweep failed; regression test is vacuous")
+	}
+}

@@ -1,0 +1,385 @@
+package pagetable
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// lifecyclePair builds a source table and an empty destination sharing one
+// allocator, as fork does.
+func lifecyclePair(t *testing.T) (*mem.Allocator, *PageTable, *PageTable) {
+	t.Helper()
+	alloc := mem.NewAllocator("gpa", 0, 0x100)
+	src, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alloc, src, dst
+}
+
+// cloneAll runs Clone with no hooks and fails the test on error.
+func cloneAll(t *testing.T, src, dst *PageTable) int {
+	t.Helper()
+	leaves, err := src.Clone(dst, CloneHooks{})
+	if err != nil {
+		t.Fatalf("Clone: %v", err)
+	}
+	return leaves
+}
+
+func TestCloneFlagsAndStructure(t *testing.T) {
+	_, src, dst := lifecyclePair(t)
+	type want struct {
+		va    arch.VA
+		flags Flags
+	}
+	var wants []want
+	// A writable dirty page, a read-only accessed page, and a page in a
+	// distant VA region (different upper tables).
+	for _, c := range []struct {
+		va    arch.VA
+		flags Flags
+	}{
+		{0x0000_1000_0000_0000, Writable | User | Accessed | Dirty},
+		{0x0000_1000_0000_1000, User | Accessed},
+		{0x0000_7fff_ffff_0000, Writable | User},
+	} {
+		pfn := src.alloc.MustAlloc()
+		if _, err := src.Map(c.va, pfn, c.flags); err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, want{c.va, c.flags})
+	}
+	leaves := cloneAll(t, src, dst)
+	if leaves != len(wants) {
+		t.Fatalf("leaves = %d, want %d", leaves, len(wants))
+	}
+	for _, w := range wants {
+		se, ok := src.Lookup(w.va)
+		if !ok {
+			t.Fatalf("source lost %#x", w.va)
+		}
+		// Parent: Writable stripped, Accessed/Dirty retained.
+		if se.Flags.Has(Writable) {
+			t.Errorf("source %#x still writable after COW clone", w.va)
+		}
+		if wantAD := w.flags & (Accessed | Dirty); se.Flags&(Accessed|Dirty) != wantAD {
+			t.Errorf("source %#x A/D = %v, want %v", w.va, se.Flags&(Accessed|Dirty), wantAD)
+		}
+		de, ok := dst.Lookup(w.va)
+		if !ok {
+			t.Fatalf("clone lost %#x", w.va)
+		}
+		// Child: Writable, Accessed, and Dirty all cleared; same frame.
+		if de.Flags&(Writable|Accessed|Dirty) != 0 {
+			t.Errorf("clone %#x flags = %v, want W/A/D clear", w.va, de.Flags)
+		}
+		if de.PFN != se.PFN {
+			t.Errorf("clone %#x PFN = %d, want shared %d", w.va, de.PFN, se.PFN)
+		}
+	}
+	if got, want := dst.CountMapped(), src.CountMapped(); got != want {
+		t.Fatalf("clone maps %d leaves, source %d", got, want)
+	}
+}
+
+func TestCloneStatsMatchPerLeafMaps(t *testing.T) {
+	// The clone's child-side counters must equal what the equivalent Map
+	// sequence leaves behind, since audits and traces read them.
+	alloc, src, dst := lifecyclePair(t)
+	refAlloc := mem.NewAllocator("ref", 0, 0x100)
+	ref, err := New(refAlloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vas []arch.VA
+	for i := 0; i < 700; i++ { // crosses a leaf-table boundary
+		vas = append(vas, 0x4000_0000+arch.VA(i)*arch.PageSize)
+	}
+	vas = append(vas, 0x0000_7000_0000_0000) // distant upper subtree
+	for _, va := range vas {
+		if _, err := src.Map(va, src.alloc.MustAlloc(), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cloneAll(t, src, dst)
+	for _, va := range vas {
+		e, _ := src.Lookup(va)
+		if _, err := ref.Map(va, e.PFN, e.Flags&^(Writable|Accessed|Dirty)&^Present); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs, rs := dst.Stats(), ref.Stats()
+	if cs.Maps != rs.Maps || cs.PTEWrites != rs.PTEWrites || cs.Tables != rs.Tables {
+		t.Fatalf("clone stats {Maps:%d PTEWrites:%d Tables:%d} != per-leaf {Maps:%d PTEWrites:%d Tables:%d}",
+			cs.Maps, cs.PTEWrites, cs.Tables, rs.Maps, rs.PTEWrites, rs.Tables)
+	}
+	_ = alloc
+}
+
+func TestCloneSharesNoDataFrames(t *testing.T) {
+	// Clone itself must not touch data-frame refcounts (the guest hook
+	// does); table frames are allocated fresh for the child.
+	alloc, src, dst := lifecyclePair(t)
+	pfn := alloc.MustAlloc()
+	if _, err := src.Map(0x1000, pfn, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	before := alloc.RefCount(pfn)
+	cloneAll(t, src, dst)
+	if rc := alloc.RefCount(pfn); rc != before {
+		t.Fatalf("data frame rc = %d after clone, want %d", rc, before)
+	}
+	if got, want := len(dst.TableFrames()), len(src.TableFrames()); got != want {
+		t.Fatalf("clone has %d table frames, source %d", got, want)
+	}
+}
+
+func TestCloneLargeLeaves(t *testing.T) {
+	_, src, dst := lifecyclePair(t)
+	pfn := src.alloc.MustAlloc()
+	if _, err := src.MapLarge(0x4000_0000, pfn, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.Map(0x8000_0000, src.alloc.MustAlloc(), User); err != nil {
+		t.Fatal(err)
+	}
+	var protects, onLeaf int
+	leaves, err := src.Clone(dst, CloneHooks{
+		BeforeProtect: func(va arch.VA, e Entry) { protects++ },
+		OnLeaf: func(va arch.VA, e Entry) error {
+			onLeaf++
+			if e.Flags.Has(Writable) {
+				t.Errorf("OnLeaf at %#x sees pre-protect flags %v", va, e.Flags)
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leaves != 2 || onLeaf != 2 || protects != 1 {
+		t.Fatalf("leaves=%d onLeaf=%d protects=%d, want 2/2/1", leaves, onLeaf, protects)
+	}
+	le, ok := dst.LookupLarge(0x4000_0000)
+	if !ok {
+		t.Fatal("clone lost the 2 MiB leaf")
+	}
+	if !le.Flags.Has(Large) || le.Flags.Has(Writable) || le.PFN != pfn {
+		t.Fatalf("cloned large leaf = %+v, want Large, read-only, PFN %d", le, pfn)
+	}
+	if se, _ := src.LookupLarge(0x4000_0000); se.Flags.Has(Writable) {
+		t.Fatal("source large leaf still writable")
+	}
+}
+
+func TestCloneSkipsLeafEmptySubtrees(t *testing.T) {
+	// Unmap clears leaves but leaves intermediate tables in place; the
+	// structural clone must not materialize child tables for them, since
+	// the leaf-driven reference path never would.
+	_, src, dst := lifecyclePair(t)
+	keep := arch.VA(0x0000_1000_0000_0000)
+	gone := arch.VA(0x0000_2000_0000_0000)
+	for _, va := range []arch.VA{keep, gone} {
+		if _, err := src.Map(va, src.alloc.MustAlloc(), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	src.Unmap(gone)
+	cloneAll(t, src, dst)
+	if got, want := len(dst.TableFrames()), arch.PTLevels; got != want {
+		t.Fatalf("clone has %d table frames, want %d (one spine)", got, want)
+	}
+	if _, ok := dst.Lookup(keep); !ok {
+		t.Fatal("clone lost the kept leaf")
+	}
+	if _, ok := dst.Lookup(gone); ok {
+		t.Fatal("clone resurrected an unmapped leaf")
+	}
+}
+
+func TestCloneRejectsHookedDestination(t *testing.T) {
+	_, src, dst := lifecyclePair(t)
+	dst.OnWrite = func(WriteEvent) {}
+	if _, err := src.Clone(dst, CloneHooks{}); err == nil {
+		t.Fatal("Clone into a shadowed table did not error")
+	}
+}
+
+func TestCloneAbortUnwindsViaDestroy(t *testing.T) {
+	// An OnLeaf error aborts the clone mid-tree; the half-built child plus
+	// a Destroy must leave the allocator exactly where it started.
+	alloc, src, dst := lifecyclePair(t)
+	for i := 0; i < 600; i++ { // spans two leaf tables
+		if _, err := src.Map(0x4000_0000+arch.VA(i)*arch.PageSize, alloc.MustAlloc(), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := alloc.InUse()
+	boom := errors.New("boom")
+	n := 0
+	_, err := src.Clone(dst, CloneHooks{OnLeaf: func(va arch.VA, e Entry) error {
+		n++
+		if n == 520 { // inside the second leaf table
+			return boom
+		}
+		return nil
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Clone error = %v, want %v", err, boom)
+	}
+	if err := dst.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	// Destroy returns every child table frame including the pre-existing
+	// root, so exactly one fewer frame than at capture is live.
+	if after := alloc.InUse(); after != before-1 {
+		t.Fatalf("allocator InUse %d after abort+Destroy, want %d", after, before-1)
+	}
+}
+
+func TestReleaseSubtreeOrderAndQuiescence(t *testing.T) {
+	alloc := mem.NewAllocator("gpa", 0, 0x100)
+	pt, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []arch.VA
+	add := func(va arch.VA) {
+		if _, err := pt.Map(va, alloc.MustAlloc(), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, va)
+	}
+	// Two dense runs in different subtrees plus a 2 MiB leaf between them.
+	for i := 0; i < 700; i++ {
+		add(0x4000_0000 + arch.VA(i)*arch.PageSize)
+	}
+	huge := alloc.MustAlloc()
+	if _, err := pt.MapLarge(0x0000_1000_0000_0000, huge, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, 0x0000_1000_0000_0000)
+	for i := 0; i < 10; i++ {
+		add(0x0000_7000_0000_0000 + arch.VA(i)*arch.PageSize)
+	}
+	var got []arch.VA
+	if err := pt.ReleaseSubtree(func(vas []arch.VA, pfns []arch.PFN) error {
+		got = append(got, vas...)
+		return alloc.FreeBatch(pfns)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("released %d leaves, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("release order diverges at %d: %#x, want %#x (ascending VA)", i, got[i], want[i])
+		}
+	}
+	// Quiescence: every data and table frame is back in the allocator.
+	if inUse := alloc.InUse(); inUse != 0 {
+		t.Fatalf("allocator still holds %d frames after ReleaseSubtree", inUse)
+	}
+}
+
+func TestReleaseSubtreeMatchesDestroyAccounting(t *testing.T) {
+	// The bulk teardown must free exactly the frames the reference
+	// (Range-free + Destroy) frees, leaving identical allocator stats.
+	build := func(alloc *mem.Allocator) *PageTable {
+		pt, err := New(alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 300; i++ {
+			if _, err := pt.Map(0x4000_0000+arch.VA(i)*arch.PageSize, alloc.MustAlloc(), Writable|User); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return pt
+	}
+	fastAlloc := mem.NewAllocator("fast", 0, 0x100)
+	fast := build(fastAlloc)
+	if err := fast.ReleaseSubtree(func(vas []arch.VA, pfns []arch.PFN) error {
+		return fastAlloc.FreeBatch(pfns)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	refAlloc := mem.NewAllocator("ref", 0, 0x100)
+	ref := build(refAlloc)
+	ref.Range(func(va arch.VA, e Entry) bool {
+		if _, err := refAlloc.Free(e.PFN); err != nil {
+			t.Fatal(err)
+		}
+		return true
+	})
+	if err := ref.Destroy(); err != nil {
+		t.Fatal(err)
+	}
+	fs, rs := fastAlloc.Stats(), refAlloc.Stats()
+	if fs.InUse != rs.InUse || fs.Allocs != rs.Allocs || fs.Frees != rs.Frees {
+		t.Fatalf("fast stats %+v != reference %+v", fs, rs)
+	}
+}
+
+func TestReleaseSubtreeCallbackErrorAborts(t *testing.T) {
+	alloc := mem.NewAllocator("gpa", 0, 0x100)
+	pt, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.Map(0x1000, alloc.MustAlloc(), Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	tables := int64(len(pt.TableFrames()))
+	boom := fmt.Errorf("boom")
+	if err := pt.ReleaseSubtree(func([]arch.VA, []arch.PFN) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	// Table frames must still be allocated (the abort indicates a bug
+	// upstream; nothing should have been freed).
+	if inUse := alloc.InUse(); inUse < tables {
+		t.Fatalf("table frames were freed on abort: InUse %d < %d", inUse, tables)
+	}
+}
+
+func TestClonedTableFramesReusePool(t *testing.T) {
+	// Table structs must round-trip through the pool: a clone after a
+	// teardown reuses zeroed frames without stale entries bleeding in.
+	alloc := mem.NewAllocator("gpa", 0, 0x100)
+	src, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 128; i++ {
+		if _, err := src.Map(0x4000_0000+arch.VA(i)*arch.PageSize, alloc.MustAlloc(), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for round := 0; round < 3; round++ {
+		dst, err := New(alloc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Clone(dst, CloneHooks{}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := dst.CountMapped(), src.CountMapped(); got != want {
+			t.Fatalf("round %d: clone maps %d, want %d", round, got, want)
+		}
+		if err := dst.ReleaseSubtree(func(vas []arch.VA, pfns []arch.PFN) error {
+			return nil // frames stay shared with src
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

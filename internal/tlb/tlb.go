@@ -126,24 +126,23 @@ type TLB struct {
 }
 
 // New creates a TLB holding up to capacity entries (capacity <= 0 panics).
+// The node arena and map are allocated at full geometry by the first Insert,
+// not here: a process that never touches a page (a short-lived fork child,
+// say) pays nothing for its TLB, which keeps per-process construction off
+// the lifecycle hot paths, while a faulting process pays the one-time
+// allocation it always paid — just at first use. Slot indexes are handed
+// out in the same 0,1,2,… order either way, so the deferral is unobservable.
 func New(capacity int) *TLB {
 	if capacity <= 0 {
 		panic("tlb: capacity must be positive")
 	}
-	t := &TLB{
+	return &TLB{
 		capacity: capacity,
-		entries:  make(map[uint64]int32, capacity),
-		nodes:    make([]node, capacity),
 		head:     none,
 		tail:     none,
+		free:     none,
 		gen:      1, // microGen zero can never match
 	}
-	for i := range t.nodes {
-		t.nodes[i].next = int32(i) + 1
-	}
-	t.nodes[capacity-1].next = none
-	t.free = 0
-	return t
 }
 
 // detach unlinks slot i from the LRU chain.
@@ -273,6 +272,12 @@ func (t *TLB) LookupRange(vpid arch.VPID, pcid arch.PCID, va arch.VA, pages int,
 // Insert caches a translation, evicting the least recently used entry when
 // full. Steady-state (warm map) insertion does not allocate.
 func (t *TLB) Insert(vpid arch.VPID, pcid arch.PCID, va arch.VA, e Entry) {
+	if t.entries == nil {
+		// First insert: allocate the full geometry in one step (see New) so
+		// no later insert pays map growth or arena reallocation.
+		t.entries = make(map[uint64]int32, t.capacity)
+		t.nodes = make([]node, 0, t.capacity)
+	}
 	k := pack(vpid, pcid, va.PageNumber())
 	t.gen++
 	if i, ok := t.entries[k]; ok {
@@ -285,10 +290,15 @@ func (t *TLB) Insert(vpid arch.VPID, pcid arch.PCID, va arch.VA, e Entry) {
 		return
 	}
 	var i int32
-	if t.free != none {
+	switch {
+	case t.free != none:
 		i = t.free
 		t.free = t.nodes[i].next
-	} else {
+	case len(t.nodes) < t.capacity:
+		// Extend into the preallocated arena; never reallocates.
+		t.nodes = append(t.nodes, node{})
+		i = int32(len(t.nodes) - 1)
+	default:
 		// Full: reuse the least recently used slot.
 		i = t.tail
 		t.detach(i)

@@ -88,6 +88,14 @@ type Process = guest.Process
 // Kernel is the paravirtualized guest kernel inside each Guest.
 type Kernel = guest.Kernel
 
+// SetLifecycleBypass disables (true) or restores (false) the structural
+// process-lifecycle fast lane (fork page-table cloning, exec/exit bulk
+// teardown), routing those paths through the per-leaf reference
+// implementations instead. The lanes are observationally identical; the
+// toggle exists for the equivalence grids and the PerLeaf benchmarks, and
+// must only change while no simulation is running.
+func SetLifecycleBypass(on bool) { guest.SetLifecycleBypass(on) }
+
 // CPU is a simulated vCPU with a deterministic virtual clock.
 type CPU = vclock.CPU
 
