@@ -7,8 +7,11 @@ all: build
 build:
 	$(GO) build ./...
 
+# test is the tier-1 lane; -shuffle=on randomizes test and example order
+# within each package so order dependencies cannot hide (go test prints the
+# seed as `-test.shuffle N` on failure — rerun with that value to reproduce).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # check is the PR gate: full build, vet, and the concurrency-sensitive
 # packages (the engine, the parallel experiment runner, and the metamorphic
@@ -20,26 +23,27 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./internal/vclock/... ./internal/experiments/... ./internal/check/...
 
-# fuzz sweeps the full metamorphic corpus (12 variants per seed, including
-# the horizon-parallel engine at worker budgets 2 and 4 and the lifecycle
-# fast lane disabled) plus the backend differential grids without the race
-# detector's slowdown.
+# fuzz sweeps the full metamorphic corpus (13 variants per seed, including
+# the horizon-parallel engine at worker budgets 2 and 4, the lifecycle fast
+# lane disabled, and dirty-page logging armed) plus the backend differential
+# grids without the race detector's slowdown.
 fuzz:
-	$(GO) test -count=1 -run 'TestMetamorphicCorpus|TestSoloBypassDifferential|TestParallelEngineDifferential|TestLifecycleFastLaneDifferential' ./internal/check/
-	$(GO) test -count=1 -run 'TestRangedAccessEquivalence|TestForkTeardownEquivalence' ./internal/backend/
+	$(GO) test -count=1 -run 'TestMetamorphicCorpus|TestSoloBypassDifferential|TestParallelEngineDifferential|TestLifecycleFastLaneDifferential|TestDirtyLogVariantDifferential' ./internal/check/
+	$(GO) test -count=1 -run 'TestRangedAccessEquivalence|TestForkTeardownEquivalence|TestDirtyLog' ./internal/backend/
 
-# bench regenerates BENCH_pr8.json: the TouchRange, ColdFault,
-# ProcessLifecycle, and MultiVCPUContention grids across all five MMU
-# backends plus the serial and engine-parallel default-grid wall clocks
-# (compared against BENCH_pr7.json's baseline).
+# bench regenerates BENCH_pr9.json: the TouchRange, ColdFault,
+# ProcessLifecycle, MultiVCPUContention, and DirtyScan grids plus the
+# PreCopy experiment benchmark across all five MMU backends, and the serial
+# and engine-parallel default-grid wall clocks (compared against
+# BENCH_pr8.json's baseline).
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_pr8.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr9.json
 
 # bench-diff compares the two most recent bench artifacts cell by cell and
 # fails on regressions beyond the default threshold; it refuses to compare
 # artifacts measured at different benchtimes or host parallelism.
 bench-diff:
-	$(GO) run ./cmd/benchreport -diff BENCH_pr7.json BENCH_pr8.json
+	$(GO) run ./cmd/benchreport -diff BENCH_pr8.json BENCH_pr9.json
 
 # microbench runs the low-level hot-path benchmarks of the simulator core.
 microbench:

@@ -361,6 +361,53 @@ func BenchmarkConcurrentMembench(b *testing.B) {
 	}
 }
 
+// Dirty-logging benchmarks. DirtyScan: ns/op is the simulator's cost per
+// page written-and-harvested through an armed dirty log on a resident
+// working set — each sweep redirties the set and CollectDirty drains it, so
+// both the recording path (write-protect traps or PML appends) and the
+// epoch harvest are on the measured path, per backend. PreCopy regenerates
+// the full pre-copy migration experiment (all backends, both mutators) per
+// iteration, like the paper-artifact benchmarks above. BENCH_pr9.json holds
+// both.
+
+func benchDirtyScan(b *testing.B, cfg Config, direct bool) {
+	opt := DefaultOptions()
+	opt.DirectPaging = direct
+	sys := NewSystem(cfg, opt)
+	g, err := sys.NewGuest("bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	g.Run(0, 4, func(p *Process) {
+		base := p.Mmap(residentPages)
+		p.TouchRange(base, residentPages, true) // resident set
+		p.StartDirtyLog()
+		for i := 0; i < n; i += residentPages {
+			sweep := residentPages
+			if left := n - i; left < sweep {
+				sweep = left
+			}
+			p.TouchRange(base, sweep, true)
+			if got := p.CollectDirty(); len(got) != sweep {
+				panic(fmt.Sprintf("dirty scan harvested %d pages, wrote %d", len(got), sweep))
+			}
+		}
+		p.StopDirtyLog()
+	})
+	sys.Eng.Wait()
+}
+
+func BenchmarkDirtyScan(b *testing.B) {
+	for _, c := range touchRangeConfigs {
+		b.Run(c.name, func(b *testing.B) { benchDirtyScan(b, c.cfg, c.direct) })
+	}
+}
+
+func BenchmarkPreCopy(b *testing.B) { benchExperiment(b, "precopy") }
+
 // Process-lifecycle benchmarks: ns/op is the simulator's cost per lifecycle
 // operation on a resident image of the given size — `fork` is the lat_proc
 // cycle (fork a COW child that exits immediately: structural clone plus

@@ -7,6 +7,11 @@
 //	pvmbench -exp fig4 [-scale default|quick|full]
 //	pvmbench -exp all [-parallel N] [-engine-workers N]
 //	pvmbench -exp all -cpuprofile cpu.pprof -memprofile mem.pprof
+//	pvmbench -precopy [-precopy-rate N] [-precopy-threshold N] [-precopy-rounds N]
+//
+// -exp all runs the paper's core evaluation; extra experiments (the
+// pre-copy migration study) run only by explicit id or via -precopy, which
+// is shorthand for -exp precopy plus its tuning flags.
 //
 // Every run is deterministic for a given scale: -parallel only fans
 // independent experiment cells across host workers, -engine-workers only
@@ -35,15 +40,27 @@ func main() {
 		engWorkers = flag.Int("engine-workers", 0, "vclock horizon-parallel executor worker budget per cell (<=1 = serial engine)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 		memprofile = flag.String("memprofile", "", "write an allocation profile taken after the run to `file`")
+
+		precopy     = flag.Bool("precopy", false, "run the pre-copy migration experiment (shorthand for -exp precopy)")
+		precopyRate = flag.Int("precopy-rate", 0, "pre-copy: mutator dirty rate in pages per virtual ms (0 = scale default)")
+		precopyThr  = flag.Int("precopy-threshold", 0, "pre-copy: stop-and-copy threshold in pages (0 = scale default)")
+		precopyRnds = flag.Int("precopy-rounds", 0, "pre-copy: round budget after the initial full copy (0 = scale default)")
 	)
 	flag.Parse()
 
+	if *precopy {
+		*exp = "precopy"
+	}
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, e := range experiments.List() {
-			fmt.Printf("  %-12s %s\n", e.ID, e.Title)
+			extra := ""
+			if e.Extra {
+				extra = " (extra: not part of -exp all)"
+			}
+			fmt.Printf("  %-12s %s%s\n", e.ID, e.Title, extra)
 		}
-		fmt.Println("  all          run every experiment")
+		fmt.Println("  all          run the core evaluation")
 		if *exp == "" && !*list {
 			os.Exit(2)
 		}
@@ -64,6 +81,15 @@ func main() {
 	}
 	sc.Parallel = *parallel
 	sc.EngineWorkers = *engWorkers
+	if *precopyRate > 0 {
+		sc.PrecopyRatePages = *precopyRate
+	}
+	if *precopyThr > 0 {
+		sc.PrecopyThreshold = *precopyThr
+	}
+	if *precopyRnds > 0 {
+		sc.PrecopyRounds = *precopyRnds
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)

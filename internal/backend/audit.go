@@ -155,12 +155,44 @@ func auditShadowAgainstGuest(p *guest.Process, table string,
 	return err
 }
 
+// auditDirty checks the dirty-log lane's defining invariant while logging is
+// armed: every writable user-PCID TLB entry caches a page the current epoch
+// has already recorded. Inserts are write-gated while armed and flushes only
+// remove entries, so a TLB-hit write can never dirty an unlogged page. (The
+// converse — every writable shadow leaf being logged — is deliberately not
+// an invariant: a read fault may demand-zero a writable leaf mid-epoch; the
+// insert gate is what keeps that safe.)
+func auditDirty(g *Guest, d *procData) error {
+	if !d.dirtyArmed() {
+		return nil
+	}
+	var err error
+	d.tlb.Range(func(k tlb.Key, ent tlb.Entry) bool {
+		if ent.Global || !ent.Write || k.PCID != d.pcidUser {
+			return true
+		}
+		va := tlbVA(k)
+		if va >= arch.KernelSpaceStart {
+			return true
+		}
+		if _, ok := d.dirty.set[va]; !ok {
+			err = fmt.Errorf("dirty-log: writable tlb entry for va %#x missing from the armed epoch's dirty set", va)
+		}
+		return err == nil
+	})
+	return err
+}
+
 // audit (eptMMU): the hardware walks the guest table directly, guest PTE
 // stores do not trap, and INVLPG is guest-internal (cost-only in this
 // simulator) — so simulated-TLB entries may be stale by design and only the
-// tags are invariant.
+// tags (and, when armed, the dirty-log write gate) are invariant.
 func (m *eptMMU) audit(p *guest.Process) error {
-	return auditTLBTags(m.g, pd(p))
+	d := pd(p)
+	if err := auditTLBTags(m.g, d); err != nil {
+		return err
+	}
+	return auditDirty(m.g, d)
 }
 
 // audit (eptNestedMMU): as for eptMMU at the TLB. EPT12/EPT02 are per-guest
@@ -169,7 +201,11 @@ func (m *eptMMU) audit(p *guest.Process) error {
 // tables' updates — so cross-table EPT coherence is not a per-process
 // operation-boundary invariant and is not audited here.
 func (m *eptNestedMMU) audit(p *guest.Process) error {
-	return auditTLBTags(m.g, pd(p))
+	d := pd(p)
+	if err := auditTLBTags(m.g, d); err != nil {
+		return err
+	}
+	return auditDirty(m.g, d)
 }
 
 // audit (sptMMU): the guest table is write-protected, so the shadow and TLB
@@ -184,6 +220,9 @@ func (m *sptMMU) audit(p *guest.Process) error {
 		return err
 	}
 	if err := auditGuestAD(p); err != nil {
+		return err
+	}
+	if err := auditDirty(m.g, d); err != nil {
 		return err
 	}
 	return auditShadowAgainstGuest(p, "spt", d.sptUser, m.backing)
@@ -203,6 +242,9 @@ func (m *pvmMMU) audit(p *guest.Process) error {
 		return err
 	}
 	if err := auditGuestAD(p); err != nil {
+		return err
+	}
+	if err := auditDirty(m.g, d); err != nil {
 		return err
 	}
 	if len(d.syncLog) > 0 {
@@ -226,6 +268,9 @@ func (m *pvmDirectMMU) audit(p *guest.Process) error {
 		return err
 	}
 	if err := auditGuestAD(p); err != nil {
+		return err
+	}
+	if err := auditDirty(m.g, d); err != nil {
 		return err
 	}
 	if len(d.syncLog) > 0 {

@@ -299,6 +299,13 @@ type mmuStrategy interface {
 	releasePage(p *guest.Process, va arch.VA, gpa arch.PFN)
 	flushRange(p *guest.Process, pages int)
 
+	// Dirty-page logging lifecycle (see dirtylog.go): arm, harvest one
+	// epoch (re-arming), disarm. The Guest wrappers guard the armed
+	// state; strategies only run their lane's choreography.
+	dirtyStart(p *guest.Process)
+	dirtyCollect(p *guest.Process) []arch.VA
+	dirtyStop(p *guest.Process)
+
 	// audit checks the strategy's structural invariants for one process
 	// (see audit.go). Pure reads only: no costs, no stats, no caches.
 	audit(p *guest.Process) error
@@ -561,6 +568,10 @@ type procData struct {
 	// guest PTE updates logged without trapping, replayed by PVM at the
 	// next synchronization point. Owned by the process's vCPU.
 	syncLog []pagetable.WriteEvent
+
+	// dirty is the dirty-page logging epoch state (dirtylog.go). Nil
+	// until the first StartDirtyLog; dies with the procData on exec.
+	dirty *dirtyState
 }
 
 func pd(p *guest.Process) *procData { return p.PlatformData.(*procData) }

@@ -102,12 +102,29 @@ func (m *eptMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, 
 	// Second-dimension leg: EPT01 violations trap to the hypervisor.
 	g.vm.EnsureBacking(c, e.PFN)
 
+	// PML: the logging walk appends the dirtied page to the vCPU ring.
+	g.pmlRecord(c, d, va, write, false)
+
 	c.AdvanceLazy(prm.TLBRefill2D)
+	// While dirty logging is armed, a read miss must not cache write
+	// permission: a later TLB-hit write would dirty the page unlogged.
+	w := e.Flags.Has(pagetable.Writable)
+	if d.dirtyArmed() {
+		w = w && write
+	}
 	d.tlb.Insert(g.VPID, d.pcidUser, va, tlb.Entry{
 		PFN:   e.PFN,
-		Write: e.Flags.Has(pagetable.Writable),
+		Write: w,
 	})
 }
+
+func (m *eptMMU) dirtyStart(p *guest.Process) { m.g.pmlDirtyStart(p, false) }
+
+func (m *eptMMU) dirtyCollect(p *guest.Process) []arch.VA {
+	return m.g.pmlDirtyCollect(p, false)
+}
+
+func (m *eptMMU) dirtyStop(p *guest.Process) { m.g.pmlDirtyStop(p, false) }
 
 func (m *eptMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 	pd(p).tlb.FlushPage(m.g.VPID, pd(p).pcidUser, va)

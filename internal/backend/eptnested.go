@@ -169,12 +169,30 @@ func (m *eptNestedMMU) resolve(p *guest.Process, d *procData, va arch.VA, write 
 		m.ept02Violation(p, e.PFN)
 	}
 
+	// PML: L1's logging walk appends the dirtied page to the vCPU ring; a
+	// full ring drains through a complete L2→L1 trip.
+	g.pmlRecord(c, d, va, write, true)
+
 	c.AdvanceLazy(prm.TLBRefill2D)
+	// While dirty logging is armed, a read miss must not cache write
+	// permission: a later TLB-hit write would dirty the page unlogged.
+	w := e.Flags.Has(pagetable.Writable)
+	if d.dirtyArmed() {
+		w = w && write
+	}
 	d.tlb.Insert(g.VPID, d.pcidUser, va, tlb.Entry{
 		PFN:   e.PFN,
-		Write: e.Flags.Has(pagetable.Writable),
+		Write: w,
 	})
 }
+
+func (m *eptNestedMMU) dirtyStart(p *guest.Process) { m.g.pmlDirtyStart(p, true) }
+
+func (m *eptNestedMMU) dirtyCollect(p *guest.Process) []arch.VA {
+	return m.g.pmlDirtyCollect(p, true)
+}
+
+func (m *eptNestedMMU) dirtyStop(p *guest.Process) { m.g.pmlDirtyStop(p, true) }
 
 // ept02Violation runs the full Figure 3b choreography for an L2
 // guest-physical page missing from EPT02: in total 2n+6 world switches and

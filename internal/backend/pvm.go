@@ -198,8 +198,9 @@ func (m *pvmMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool
 // resolve handles one page whose TLB probe missed: shadow hit → refill,
 // otherwise the full PVM fault choreography.
 func (m *pvmMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	m.g.dirtyRecordShadow(p.CPU, d, va, write)
 	if e, ok := r.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
-		m.refill(p.CPU, d, va, e)
+		m.refill(p.CPU, d, va, e, write)
 		return
 	}
 	m.fault(p, d, va, write)
@@ -276,7 +277,7 @@ func (m *pvmMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
 	if !ok {
 		panic("backend/pvm: shadow entry missing after fix")
 	}
-	m.refill(c, d, va, e)
+	m.refill(c, d, va, e, write)
 }
 
 // refault runs the second fault round taken when prefault is disabled: the
@@ -316,18 +317,58 @@ func (m *pvmMMU) syncReplay(p *guest.Process, d *procData) {
 	})
 }
 
-func (m *pvmMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry) {
+// refill charges the hardware TLB refill and caches the translation. While
+// dirty logging is armed, a read miss must not cache write permission (see
+// sptMMU.refill).
+func (m *pvmMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry, write bool) {
 	prm := m.g.Sys.Prm
 	if m.nested {
 		c.AdvanceLazy(prm.TLBRefill2D) // SPT12 × EPT01
 	} else {
 		c.AdvanceLazy(prm.TLBRefill1D)
 	}
+	w := e.Flags.Has(pagetable.Writable)
+	if d.dirtyArmed() {
+		w = w && write
+	}
 	d.tlb.Insert(m.g.VPID, d.pcidUser, va, tlb.Entry{
 		PFN:   e.PFN,
-		Write: e.Flags.Has(pagetable.Writable),
+		Write: w,
 	})
 }
+
+// dirtyOps binds the write-protect dirty-log lane to the PVM switcher legs,
+// the collaborative-sync replay, and the meta (or coarse) lock. The sweep
+// covers the user half only: PVM's dual tables install guest leaves solely
+// into shadow.User, and the kernel half holds nothing but switcher state.
+func (m *pvmMMU) dirtyOps(p *guest.Process) shadowDirtyOps {
+	c := p.CPU
+	d := pd(p)
+	prm := m.g.Sys.Prm
+	lock := m.locks.Coarse
+	if m.locks.Mode == core.FineLock {
+		lock = m.locks.Meta
+	}
+	return shadowDirtyOps{
+		exit:   func() { m.exit(p) },
+		entry:  func() { m.enter(p, false) },
+		replay: func() { m.syncReplay(p, d) },
+		sweep: func() {
+			lock.With(c, 0, func() {
+				n := dirtySweep(d.sptUser)
+				c.AdvanceLazy(int64(n) * prm.DirtyLogProtect)
+			})
+		},
+	}
+}
+
+func (m *pvmMMU) dirtyStart(p *guest.Process) { m.g.shadowDirtyStart(p, m.dirtyOps(p)) }
+
+func (m *pvmMMU) dirtyCollect(p *guest.Process) []arch.VA {
+	return m.g.shadowDirtyCollect(p, m.dirtyOps(p))
+}
+
+func (m *pvmMMU) dirtyStop(p *guest.Process) { m.g.shadowDirtyStop(p, m.dirtyOps(p)) }
 
 // fixSPT installs the shadow leaf for va. With fine-grained locking, the
 // inter-shadow-page structures are touched under the short meta-lock, the

@@ -157,8 +157,9 @@ func (m *pvmDirectMMU) accessRange(p *guest.Process, va arch.VA, pages int, writ
 // resolve handles one page whose TLB probe missed: validated machine-table
 // hit → refill, otherwise the direct-paging fault path.
 func (m *pvmDirectMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	m.g.dirtyRecordShadow(p.CPU, d, va, write)
 	if e, ok := r.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
-		m.refill(p.CPU, d, va, e)
+		m.refill(p.CPU, d, va, e, write)
 		return
 	}
 	m.fault(p, d, va, write)
@@ -203,7 +204,7 @@ func (m *pvmDirectMMU) fault(p *guest.Process, d *procData, va arch.VA, write bo
 	if !ok {
 		panic("backend/pvmdirect: mapping missing after validation")
 	}
-	m.refill(c, d, va, e)
+	m.refill(c, d, va, e, write)
 }
 
 // applyBatch validates and applies the pending mmu_update entries under the
@@ -266,18 +267,58 @@ func (m *pvmDirectMMU) install(p *guest.Process, d *procData, va arch.VA, ge pag
 	}
 }
 
-func (m *pvmDirectMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry) {
+// refill charges the hardware TLB refill and caches the translation. While
+// dirty logging is armed, a read miss must not cache write permission (see
+// sptMMU.refill).
+func (m *pvmDirectMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry, write bool) {
 	prm := m.g.Sys.Prm
 	if m.nested {
 		c.AdvanceLazy(prm.TLBRefill2D)
 	} else {
 		c.AdvanceLazy(prm.TLBRefill1D)
 	}
+	w := e.Flags.Has(pagetable.Writable)
+	if d.dirtyArmed() {
+		w = w && write
+	}
 	d.tlb.Insert(m.g.VPID, d.pcidUser, va, tlb.Entry{
 		PFN:   e.PFN,
-		Write: e.Flags.Has(pagetable.Writable),
+		Write: w,
 	})
 }
+
+// dirtyOps binds the write-protect dirty-log lane to the switcher legs, the
+// mmu_update batch replay, and the meta (or coarse) lock. The sweep runs on
+// the validated machine table; its match skips the switcher's global
+// kernel-half leaves, so only guest mappings are protected.
+func (m *pvmDirectMMU) dirtyOps(p *guest.Process) shadowDirtyOps {
+	c := p.CPU
+	d := pd(p)
+	prm := m.g.Sys.Prm
+	lock := m.locks.Coarse
+	if m.locks.Mode == core.FineLock {
+		lock = m.locks.Meta
+	}
+	return shadowDirtyOps{
+		exit:   func() { m.exit(p) },
+		entry:  func() { m.enter(p, false) },
+		replay: func() { m.applyBatch(p, d) },
+		sweep: func() {
+			lock.With(c, 0, func() {
+				n := dirtySweep(d.sptUser)
+				c.AdvanceLazy(int64(n) * prm.DirtyLogProtect)
+			})
+		},
+	}
+}
+
+func (m *pvmDirectMMU) dirtyStart(p *guest.Process) { m.g.shadowDirtyStart(p, m.dirtyOps(p)) }
+
+func (m *pvmDirectMMU) dirtyCollect(p *guest.Process) []arch.VA {
+	return m.g.shadowDirtyCollect(p, m.dirtyOps(p))
+}
+
+func (m *pvmDirectMMU) dirtyStop(p *guest.Process) { m.g.shadowDirtyStop(p, m.dirtyOps(p)) }
 
 // allocBacking draws a fresh backing frame from hypervisor memory.
 func (m *pvmDirectMMU) allocBacking() arch.PFN {

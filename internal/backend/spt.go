@@ -182,8 +182,9 @@ func (m *sptMMU) accessRange(p *guest.Process, va arch.VA, pages int, write bool
 // resolve handles one page whose TLB probe missed: shadow hit → refill,
 // otherwise the full shadow-fault trap.
 func (m *sptMMU) resolve(p *guest.Process, d *procData, va arch.VA, write bool, r *pagetable.Reader) {
+	m.g.dirtyRecordShadow(p.CPU, d, va, write)
 	if e, ok := r.Lookup(va); ok && (!write || e.Flags.Has(pagetable.Writable)) {
-		m.refill(p.CPU, d, va, e)
+		m.refill(p.CPU, d, va, e, write)
 		return
 	}
 	m.fault(p, d, va, write)
@@ -221,20 +222,27 @@ func (m *sptMMU) fault(p *guest.Process, d *procData, va arch.VA, write bool) {
 	if !ok {
 		panic("backend/spt: shadow entry missing after fix")
 	}
-	m.refill(c, d, va, e)
+	m.refill(c, d, va, e, write)
 }
 
-// refill charges the hardware TLB refill and caches the translation.
-func (m *sptMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry) {
+// refill charges the hardware TLB refill and caches the translation. While
+// dirty logging is armed, a read miss must not cache write permission: the
+// shadow leaf may be writable (e.g. freshly demand-zero fixed), and a later
+// write hitting the TLB would dirty the page unrecorded.
+func (m *sptMMU) refill(c *vclock.CPU, d *procData, va arch.VA, e pagetable.Entry, write bool) {
 	prm := m.g.Sys.Prm
 	if m.nested {
 		c.AdvanceLazy(prm.TLBRefill2D) // SPT12 × EPT01 two-dimensional walk
 	} else {
 		c.AdvanceLazy(prm.TLBRefill1D)
 	}
+	w := e.Flags.Has(pagetable.Writable)
+	if d.dirtyArmed() {
+		w = w && write
+	}
 	d.tlb.Insert(m.g.VPID, d.pcidUser, va, tlb.Entry{
 		PFN:   e.PFN,
-		Write: e.Flags.Has(pagetable.Writable),
+		Write: w,
 	})
 }
 
@@ -303,6 +311,32 @@ func (m *sptMMU) releasePage(p *guest.Process, va arch.VA, gpa arch.PFN) {
 		}
 	})
 }
+
+// dirtyOps binds the write-protect dirty-log lane to this configuration's
+// exit/entry legs and mmu_lock (with nested hold scaling on the sweep).
+func (m *sptMMU) dirtyOps(p *guest.Process) shadowDirtyOps {
+	c := p.CPU
+	d := pd(p)
+	prm := m.g.Sys.Prm
+	return shadowDirtyOps{
+		exit:  func() { m.exit(c) },
+		entry: func() { m.entry(c, p) },
+		sweep: func() {
+			m.mmuLock.With(c, 0, func() {
+				n := dirtySweep(d.sptUser)
+				c.AdvanceLazy(m.hold(int64(n) * prm.DirtyLogProtect))
+			})
+		},
+	}
+}
+
+func (m *sptMMU) dirtyStart(p *guest.Process) { m.g.shadowDirtyStart(p, m.dirtyOps(p)) }
+
+func (m *sptMMU) dirtyCollect(p *guest.Process) []arch.VA {
+	return m.g.shadowDirtyCollect(p, m.dirtyOps(p))
+}
+
+func (m *sptMMU) dirtyStop(p *guest.Process) { m.g.shadowDirtyStop(p, m.dirtyOps(p)) }
 
 // flushRange under traditional shadow paging: the guest's flush request
 // traps to the shadowing hypervisor, which — lacking per-address-space TLB

@@ -77,6 +77,20 @@ func Verify(seed uint64) error {
 		if err != nil {
 			return fmt.Errorf("seed %d (%s): variant %s: %w", seed, p.Label, v.Name, err)
 		}
+		if v.DirtyLog {
+			// Dirty logging lawfully perturbs virtual time (arming
+			// write-protects and flushes), so the oracle is
+			// self-determinism: an identical rerun must reproduce every
+			// observable — dirty digest included — bit for bit.
+			o2, err := Run(p, v)
+			if err != nil {
+				return fmt.Errorf("seed %d (%s): variant %s rerun: %w", seed, p.Label, v.Name, err)
+			}
+			if d := Diff(o, o2); d != "" {
+				return fmt.Errorf("seed %d (%s): variant %s nondeterministic: %s", seed, p.Label, v.Name, d)
+			}
+			continue
+		}
 		if d := Diff(base, o); d != "" {
 			return fmt.Errorf("seed %d (%s): variant %s diverged: %s", seed, p.Label, v.Name, d)
 		}

@@ -125,6 +125,36 @@ func TestLifecycleFastLaneDifferential(t *testing.T) {
 	}
 }
 
+// TestDirtyLogVariantDifferential pins the dirty-log fuzz lane: for each
+// seed, the dirtylog-on run must be self-deterministic (identical rerun,
+// identical dirty digest), and the sweep as a whole must actually collect
+// pages — otherwise the variant audits nothing and the vacuity guard itself
+// is untested.
+func TestDirtyLogVariantDifferential(t *testing.T) {
+	var collected int64
+	for seed := uint64(1); seed <= 32; seed++ {
+		p := Generate(seed)
+		a, err := Run(p, Variant{Name: "dirtylog-on", DirtyLog: true})
+		if err != nil {
+			t.Fatalf("seed %d dirtylog-on: %v", seed, err)
+		}
+		b, err := Run(p, Variant{Name: "dirtylog-on", DirtyLog: true})
+		if err != nil {
+			t.Fatalf("seed %d dirtylog-on rerun: %v", seed, err)
+		}
+		if d := Diff(a, b); d != "" {
+			t.Fatalf("seed %d: dirtylog-on nondeterministic: %s", seed, d)
+		}
+		if a.DirtyPages > 0 && a.DirtyDigest == 0 {
+			t.Fatalf("seed %d: %d pages collected but dirty digest is zero", seed, a.DirtyPages)
+		}
+		collected += a.DirtyPages
+	}
+	if collected == 0 {
+		t.Fatal("no seed in 1..32 collected a dirty page; the dirty-log variant is vacuous")
+	}
+}
+
 // TestGeneratorReplayable pins seed→Program determinism: the whole scenario
 // must be a pure function of the seed, or replaying a failure is hopeless.
 func TestGeneratorReplayable(t *testing.T) {

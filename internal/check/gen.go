@@ -59,13 +59,13 @@ const (
 // an op stream stays valid for any region history.
 type Op struct {
 	Kind   OpKind
-	Pages  int    // mmap/exec size
-	Sel    int    // region selector (mod live region count)
-	Off    int    // page offset selector (mod region size)
-	Len    int    // range length selector
-	Write  bool   // touch writes / mprotect target permission
-	Arg    int64  // syscall body, compute ns, or I/O bytes
-	N      int    // I/O burst size
+	Pages  int   // mmap/exec size
+	Sel    int   // region selector (mod live region count)
+	Off    int   // page offset selector (mod region size)
+	Len    int   // range length selector
+	Write  bool  // touch writes / mprotect target permission
+	Arg    int64 // syscall body, compute ns, or I/O bytes
+	N      int   // I/O burst size
 	Priv   arch.PrivOp
 	Vector uint8
 	Child  []Op // fork: the child's program, run to completion before the parent resumes

@@ -23,6 +23,13 @@ type Observation struct {
 	Dropped  int64
 	Digest   uint64 // FNV-1a over the raw fields of the ordered trace
 
+	// DirtyPages and DirtyDigest summarize the dirty-log epochs harvested
+	// by the DirtyLog variant (zero when logging never armed): total pages
+	// collected, and an FNV-1a fold of every epoch's (pid, index, sorted
+	// VAs), combined across workers in admission order.
+	DirtyPages  int64
+	DirtyDigest uint64
+
 	// SoloGrants and ParallelGrants are informational and deliberately
 	// excluded from Diff: toggling or revoking the solo bypass changes how
 	// often that grant engages, and the horizon-parallel executor's
@@ -94,6 +101,10 @@ func Diff(a, b Observation) string {
 			a.Events, a.Dropped, b.Events, b.Dropped)
 	case a.Digest != b.Digest:
 		return fmt.Sprintf("trace digest %#x vs %#x", a.Digest, b.Digest)
+	case a.DirtyPages != b.DirtyPages:
+		return fmt.Sprintf("dirty pages %d vs %d", a.DirtyPages, b.DirtyPages)
+	case a.DirtyDigest != b.DirtyDigest:
+		return fmt.Sprintf("dirty digest %#x vs %#x", a.DirtyDigest, b.DirtyDigest)
 	}
 	return ""
 }

@@ -1,7 +1,9 @@
 package check
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 
 	"repro/internal/arch"
 	"repro/internal/backend"
@@ -27,6 +29,13 @@ type Variant struct {
 	DropTLBCaches bool // invalidate the TLB's micro-TLB and run links
 	RevokeSolo    bool // force a solo-bypass revocation
 	SpuriousSync  bool // gate the vCPU for no reason
+
+	// DirtyLog arms dirty-page logging on every worker, collecting an epoch
+	// at each generated checkpoint (and around exec). Logging lawfully
+	// perturbs virtual time — arming write-protects and flushes — so this
+	// variant is oracled by self-determinism (two identical runs, identical
+	// observables and dirty digests), not by diffing against the baseline.
+	DirtyLog bool
 }
 
 // Variants returns the metamorphic matrix, baseline first.
@@ -43,6 +52,7 @@ func Variants() []Variant {
 		{Name: "lifecycle-off", LifecycleOff: true},
 		{Name: "parallel-engine", Workers: 2},
 		{Name: "parallel-engine-4", Workers: 4},
+		{Name: "dirtylog-on", DirtyLog: true},
 		{Name: "everything", ByPage: true, SoloOff: true, CursorBypass: true,
 			Eager: true, LifecycleOff: true, DropTLBCaches: true, RevokeSolo: true,
 			SpuriousSync: true, Workers: 4},
@@ -81,15 +91,29 @@ func runVariant(p *Program, v Variant, inspect func(*backend.System)) (Observati
 			return
 		}
 		in := &interp{sys: sys, g: g, v: v}
+		if v.DirtyLog {
+			in.dirty = make([]dirtyAcc, len(p.Workers))
+		}
 		// Launch all workers behind the engine's starting barrier so the
 		// schedule cannot depend on how far an early worker's goroutine
 		// races before the last one is admitted to the runnable heap.
 		release := sys.Eng.Hold()
-		for _, w := range p.Workers {
-			w := w
+		for wi, w := range p.Workers {
+			wi, w := wi, w
 			g.Run(w.Start, w.ImagePages, func(proc *guest.Process) {
 				ctx := &pctx{p: proc, fixed: fixedRegions(w.ImagePages)}
+				if v.DirtyLog {
+					// Arm the root worker only; forked children run
+					// unarmed (their dirty field stays nil), matching a
+					// migration source that tracks registered vCPUs.
+					ctx.dirty = &in.dirty[wi]
+					proc.StartDirtyLog()
+				}
 				in.runOps(ctx, w.Ops)
+				if ctx.dirty != nil {
+					in.collectEpoch(ctx)
+					proc.StopDirtyLog()
+				}
 			})
 		}
 		release()
@@ -103,6 +127,12 @@ func runVariant(p *Program, v Variant, inspect func(*backend.System)) (Observati
 			return
 		}
 		o = Capture(sys)
+		if v.DirtyLog {
+			o.DirtyPages, o.DirtyDigest = foldDirty(in.dirty)
+			if w := armedWrites(in.dirty); w > 0 && o.DirtyPages == 0 {
+				runErr = fmt.Errorf("dirty-log vacuity: %d armed writes but zero pages collected", w)
+			}
+		}
 	}
 	cursorBypassOn(v.CursorBypass, func() {
 		lifecycleBypassOn(v.LifecycleOff, body)
@@ -153,8 +183,63 @@ type pctx struct {
 	fixed   []region // image + stack: touchable, never unmapped
 	regions []region // mmap'd areas: touchable, unmappable, protectable
 
+	// dirty points at this worker's accumulator when the DirtyLog variant
+	// armed logging on the process; nil for unarmed processes (children).
+	dirty *dirtyAcc
+
 	lastNow                int64
 	lastExits, lastEntries int64
+}
+
+// dirtyAcc accumulates one armed worker's dirty-log observables. Each worker
+// writes only its own slot of interp.dirty, so the slots race-freely fill in
+// parallel and fold deterministically (admission order) after Wait.
+type dirtyAcc struct {
+	digest uint64 // FNV-1a over (pid, epoch index, page count, sorted VAs)
+	epochs int64
+	pages  int64
+	writes int64 // armed effective writes: the anti-vacuity witness
+}
+
+// fold mixes one collected epoch into the worker's running digest.
+func (a *dirtyAcc) fold(pid int, vas []arch.VA) {
+	h := fnv.New64a()
+	var buf [8]byte
+	word := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	word(a.digest)
+	word(uint64(pid))
+	word(uint64(a.epochs))
+	word(uint64(len(vas)))
+	for _, va := range vas {
+		word(uint64(va))
+	}
+	a.digest = h.Sum64()
+	a.epochs++
+	a.pages += int64(len(vas))
+}
+
+// foldDirty combines the per-worker accumulators, in admission order, into
+// the run's total page count and dirty digest.
+func foldDirty(accs []dirtyAcc) (pages int64, digest uint64) {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, a := range accs {
+		binary.LittleEndian.PutUint64(buf[:], a.digest)
+		h.Write(buf[:])
+		pages += a.pages
+	}
+	return pages, h.Sum64()
+}
+
+// armedWrites totals the effective write touches issued while armed.
+func armedWrites(accs []dirtyAcc) (n int64) {
+	for _, a := range accs {
+		n += a.writes
+	}
+	return n
 }
 
 // pick selects a touch target among all live areas.
@@ -178,6 +263,15 @@ type interp struct {
 	sys *backend.System
 	g   *backend.Guest
 	v   Variant
+
+	// dirty has one accumulator per worker under the DirtyLog variant.
+	dirty []dirtyAcc
+}
+
+// collectEpoch harvests one dirty-log epoch from an armed process and folds
+// it into the worker's accumulator.
+func (in *interp) collectEpoch(ctx *pctx) {
+	ctx.dirty.fold(ctx.p.PID, ctx.p.CollectDirty())
 }
 
 // runOps interprets one op stream against a process. Errors panic: the
@@ -209,7 +303,11 @@ func (in *interp) runOps(ctx *pctx, ops []Op) {
 				continue
 			}
 			page := op.Off % r.pages
-			ctx.p.Touch(r.base+arch.VA(page)*arch.PageSize, op.Write && r.writable)
+			w := op.Write && r.writable
+			if w && ctx.dirty != nil {
+				ctx.dirty.writes++
+			}
+			ctx.p.Touch(r.base+arch.VA(page)*arch.PageSize, w)
 
 		case OpTouchRange:
 			r, ok := ctx.pick(op.Sel)
@@ -220,6 +318,9 @@ func (in *interp) runOps(ctx *pctx, ops []Op) {
 			n := 1 + op.Len%(r.pages-off)
 			va := r.base + arch.VA(off)*arch.PageSize
 			write := op.Write && r.writable
+			if write && ctx.dirty != nil {
+				ctx.dirty.writes++
+			}
 			if in.v.ByPage {
 				ctx.p.TouchRangeByPage(va, n, write)
 			} else {
@@ -253,11 +354,21 @@ func (in *interp) runOps(ctx *pctx, ops []Op) {
 			}
 
 		case OpExec:
+			// Exec replaces the address space and with it the platform's
+			// per-process dirty state: harvest the pending epoch first,
+			// then re-arm on the fresh image — the protocol a migration
+			// source follows across an in-guest exec.
+			if ctx.dirty != nil {
+				in.collectEpoch(ctx)
+			}
 			if err := ctx.p.Exec(op.Pages); err != nil {
 				panic(err)
 			}
 			ctx.fixed = fixedRegions(op.Pages)
 			ctx.regions = nil
+			if ctx.dirty != nil {
+				ctx.p.StartDirtyLog()
+			}
 
 		case OpSyscall:
 			ctx.p.Syscall(op.Arg)
@@ -293,6 +404,9 @@ func (in *interp) checkpoint(ctx *pctx) {
 	}
 	if in.v.SpuriousSync {
 		c.Sync()
+	}
+	if ctx.dirty != nil {
+		in.collectEpoch(ctx)
 	}
 
 	if now := c.Now(); now < ctx.lastNow {

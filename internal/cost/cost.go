@@ -228,6 +228,41 @@ type Params struct {
 	MetaHold int64
 	RmapHold int64
 
+	// --- Dirty-page logging ---
+
+	// DirtyLogArm is the hypervisor base cost of arming (or re-arming at a
+	// collection point) dirty logging for one address space: allocating or
+	// resetting the bitmap/ring bookkeeping, independent of table size.
+	DirtyLogArm int64
+
+	// DirtyLogProtect is the per-leaf cost of the write-protect sweep the
+	// shadow-paging lanes (spt, pvm, pvmdirect) run when logging arms: one
+	// in-place permission downgrade on a shadow/machine leaf, charged under
+	// the strategy's MMU lock.
+	DirtyLogProtect int64
+
+	// DirtyLogMark is the shadow-lane hypervisor's per-page bookkeeping the
+	// first time a page is written in an epoch: setting the bit in the
+	// dirty bitmap while handling the write-protection fault (the fault
+	// choreography itself is charged by the ordinary shadow-fault path).
+	DirtyLogMark int64
+
+	// PMLRecord is the hardware cost of appending one guest-physical
+	// address to the Page Modification Log ring on a dirty-bit transition
+	// (ept, eptnested lanes). No exit: the processor writes the ring.
+	PMLRecord int64
+
+	// PMLDrainBase and PMLDrainEntry are the hypervisor's ring-drain costs:
+	// a base per drain plus one unit per logged entry. A full ring forces a
+	// world-switch round trip on top; drains at collection points ride the
+	// collection's own round trip.
+	PMLDrainBase  int64
+	PMLDrainEntry int64
+
+	// DirtyCollectPage is the per-page cost of handing one dirty-set entry
+	// to the collector (bitmap scan + copy-out), charged at CollectDirty.
+	DirtyCollectPage int64
+
 	// TLBFlushPenalty approximates the hot-set refill cost incurred per
 	// world switch when the PCID-mapping optimization is disabled (the
 	// implicit full flush of the guest's TLB context on each CR3 load).
@@ -324,6 +359,14 @@ func Default() Params {
 		NestedSPTHoldPct: 250,
 		ShootdownIPI:     400,
 		FlushPTEScan:     8,
+
+		DirtyLogArm:      300,
+		DirtyLogProtect:  15,
+		DirtyLogMark:     25,
+		PMLRecord:        5,
+		PMLDrainBase:     500,
+		PMLDrainEntry:    12,
+		DirtyCollectPage: 10,
 
 		MetaHold:        120,
 		RmapHold:        40,

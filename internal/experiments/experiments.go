@@ -57,6 +57,14 @@ type Scale struct {
 	// identical at every setting; it composes with Parallel under one
 	// GOMAXPROCS budget.
 	EngineWorkers int
+
+	// PrecopyRatePages is the pre-copy migration mutator's dirty rate in
+	// pages per virtual millisecond, PrecopyThreshold the stop-and-copy
+	// trigger (a round's dirty set at or below it converges), and
+	// PrecopyRounds the round budget after the initial full copy.
+	PrecopyRatePages int
+	PrecopyThreshold int
+	PrecopyRounds    int
 }
 
 // DefaultScale returns a laptop-friendly scale (seconds per experiment).
@@ -73,6 +81,9 @@ func DefaultScale() Scale {
 		Fig10Procs:        []int{1, 2, 4, 8, 16, 32},
 		Fig4Procs:         []int{1, 4, 16},
 		Fig11Concurrency:  []int{1, 4, 16},
+		PrecopyRatePages:  400,
+		PrecopyThreshold:  16,
+		PrecopyRounds:     30,
 	}
 }
 
@@ -109,6 +120,12 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(sc Scale, w io.Writer) error
+
+	// Extra marks artifacts beyond the paper's core evaluation (e.g. the
+	// pre-copy migration study built on dirty-page logging). RunAll — and
+	// with it the pinned results_default.txt — skips them; Run executes
+	// them on explicit request.
+	Extra bool
 }
 
 var registry = map[string]Experiment{}
@@ -141,9 +158,12 @@ func Run(id string, sc Scale, w io.Writer) error {
 	return e.Run(sc, w)
 }
 
-// RunAll executes every experiment in id order.
+// RunAll executes every non-Extra experiment in id order.
 func RunAll(sc Scale, w io.Writer) error {
 	for _, e := range List() {
+		if e.Extra {
+			continue
+		}
 		if err := Run(e.ID, sc, w); err != nil {
 			return fmt.Errorf("experiments: %s: %w", e.ID, err)
 		}

@@ -11,6 +11,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig2", "fig4", "fig10", "fig11", "fig12", "fig13",
 		"table1", "table2", "table3", "table4", "switchcost",
 		"future", "vmcsshadow", "migration", "netctx", "coldstart",
+		"precopy",
 	}
 	for _, id := range want {
 		if _, ok := Get(id); !ok {
@@ -95,6 +96,35 @@ func TestTable1Claims(t *testing.T) {
 	}
 }
 
+// TestPrecopyConverges pins the pre-copy experiment's mechanics: at quick
+// scale every backend's migration must reach the stop-and-copy threshold
+// within the round budget, copy at least the full working set, and shrink
+// its dirty set from first round to last; and the cell must be
+// deterministic (identical reruns).
+func TestPrecopyConverges(t *testing.T) {
+	sc := QuickScale()
+	for _, v := range precopyVariants() {
+		for _, strided := range []bool{false, true} {
+			a := precopyCell(v.cfg, v.opt, sc, strided)
+			if !a.converged {
+				t.Errorf("%s strided=%v: did not converge in %d rounds (last dirty set %d)",
+					v.name, strided, a.rounds, a.lastDirty)
+			}
+			if a.copied < int64(sc.MembenchMiB*256) {
+				t.Errorf("%s strided=%v: copied only %d pages", v.name, strided, a.copied)
+			}
+			if a.firstDirty == 0 || a.lastDirty > a.firstDirty {
+				t.Errorf("%s strided=%v: dirty sets did not shrink: first %d, last %d",
+					v.name, strided, a.firstDirty, a.lastDirty)
+			}
+			b := precopyCell(v.cfg, v.opt, sc, strided)
+			if a != b {
+				t.Errorf("%s strided=%v: nondeterministic: %+v vs %+v", v.name, strided, a, b)
+			}
+		}
+	}
+}
+
 func TestScalesAreOrdered(t *testing.T) {
 	q, d, f := QuickScale(), DefaultScale(), FullScale()
 	if !(q.MembenchMiB <= d.MembenchMiB && d.MembenchMiB <= f.MembenchMiB) {
@@ -114,7 +144,11 @@ func TestRunAllQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, e := range List() {
-		if !strings.Contains(buf.String(), "=== "+e.ID) {
+		has := strings.Contains(buf.String(), "=== "+e.ID)
+		if e.Extra && has {
+			t.Errorf("RunAll ran extra experiment %s; the pinned default output must not include it", e.ID)
+		}
+		if !e.Extra && !has {
 			t.Errorf("RunAll output missing %s", e.ID)
 		}
 	}

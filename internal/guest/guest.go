@@ -59,6 +59,20 @@ type Platform interface {
 	// the stack so the next use refaults.
 	ReleasePage(p *Process, va arch.VA, gpa arch.PFN)
 
+	// StartDirtyLog arms dirty-page logging for the process, beginning an
+	// epoch: shadow-paging platforms write-protect the logged leaves, EPT
+	// platforms enable hardware page-modification logging. A no-op when
+	// already armed.
+	StartDirtyLog(p *Process)
+	// CollectDirty returns the pages dirtied since the last Start/Collect
+	// in ascending VA order and begins the next epoch. Nil when logging
+	// is not armed. The pre-copy migration driver iterates this.
+	CollectDirty(p *Process) []arch.VA
+	// StopDirtyLog disarms logging, discarding the current epoch. The
+	// armed state does not survive exec (per-address-space platform state
+	// is rebuilt); callers re-arm afterwards if needed.
+	StopDirtyLog(p *Process)
+
 	// FlushRange is the guest kernel's TLB range invalidation issued
 	// once after a batch of PTE changes (munmap, fork COW protection).
 	// Under traditional shadow paging this triggers a remote shootdown
@@ -269,6 +283,16 @@ func (p *Process) TouchRangeByPage(va arch.VA, pages int, write bool) {
 		p.Touch(va+arch.VA(i)*arch.PageSize, write)
 	}
 }
+
+// StartDirtyLog arms dirty-page logging for this process (epoch begin).
+func (p *Process) StartDirtyLog() { p.K.plat.StartDirtyLog(p) }
+
+// CollectDirty returns the pages dirtied since the last Start/Collect in
+// ascending VA order and begins the next epoch (nil when not armed).
+func (p *Process) CollectDirty() []arch.VA { return p.K.plat.CollectDirty(p) }
+
+// StopDirtyLog disarms dirty-page logging for this process.
+func (p *Process) StopDirtyLog() { p.K.plat.StopDirtyLog(p) }
 
 // Syscall performs a generic syscall with the given in-kernel body cost.
 func (p *Process) Syscall(body int64) {

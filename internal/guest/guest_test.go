@@ -58,6 +58,10 @@ func (f *fakePlatform) FlushRange(p *Process, pages int) {
 	f.flushes++
 }
 
+func (f *fakePlatform) StartDirtyLog(p *Process)          {}
+func (f *fakePlatform) CollectDirty(p *Process) []arch.VA { return nil }
+func (f *fakePlatform) StopDirtyLog(p *Process)           {}
+
 func (f *fakePlatform) Access(p *Process, va arch.VA, write bool) {
 	f.accesses++
 	if _, _, fault := p.GPT.Walk(va.PageDown(), write, true); fault != nil {

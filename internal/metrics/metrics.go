@@ -106,6 +106,15 @@ type Counters struct {
 	Forks          Count
 	Execs          Count
 
+	// Dirty-page logging: pages newly marked dirty in an epoch (first
+	// write per page, all lanes), PML ring drains forced by a full ring
+	// (ept/eptnested lanes), CollectDirty calls, and total pages handed to
+	// collectors.
+	DirtyMarks          Count
+	DirtyPMLDrains      Count
+	DirtyEpochs         Count
+	DirtyPagesCollected Count
+
 	// WorldExits / WorldEntries count the leave-guest and return-to-guest
 	// legs of every world-switch choreography (hardware VM exit/entry,
 	// nested L2→L1 / L1→L2 trip halves, PVM switcher exit/entry). Every
@@ -152,8 +161,14 @@ type Snapshot struct {
 	COWBreaks      int64
 	Forks          int64
 	Execs          int64
-	WorldExits     int64
-	WorldEntries   int64
+
+	DirtyMarks          int64
+	DirtyPMLDrains      int64
+	DirtyEpochs         int64
+	DirtyPagesCollected int64
+
+	WorldExits   int64
+	WorldEntries int64
 }
 
 // Snapshot copies the current counter values.
@@ -183,6 +198,10 @@ func (c *Counters) Snapshot() Snapshot {
 	s.COWBreaks = c.COWBreaks.Load()
 	s.Forks = c.Forks.Load()
 	s.Execs = c.Execs.Load()
+	s.DirtyMarks = c.DirtyMarks.Load()
+	s.DirtyPMLDrains = c.DirtyPMLDrains.Load()
+	s.DirtyEpochs = c.DirtyEpochs.Load()
+	s.DirtyPagesCollected = c.DirtyPagesCollected.Load()
 	s.WorldExits = c.WorldExits.Load()
 	s.WorldEntries = c.WorldEntries.Load()
 	return s
@@ -213,6 +232,8 @@ func (s Snapshot) String() string {
 		{"direct-switches", s.DirectSwitches}, {"interrupts", s.Interrupts},
 		{"tlb-flushes", s.TLBFlushes}, {"io-requests", s.IORequests},
 		{"cow-breaks", s.COWBreaks}, {"forks", s.Forks}, {"execs", s.Execs},
+		{"dirty-marks", s.DirtyMarks}, {"dirty-pml-drains", s.DirtyPMLDrains},
+		{"dirty-epochs", s.DirtyEpochs}, {"dirty-pages", s.DirtyPagesCollected},
 	}
 	for _, e := range rest {
 		if e.v != 0 {

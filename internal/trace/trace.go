@@ -32,12 +32,13 @@ const (
 	KindInterrupt
 	KindIO
 	KindFlush
+	KindDirty
 	numKinds
 )
 
 var kindNames = [numKinds]string{
 	"switch", "fault", "shadow-fix", "pte-write", "hypercall",
-	"syscall", "privop", "interrupt", "io", "flush",
+	"syscall", "privop", "interrupt", "io", "flush", "dirty",
 }
 
 func (k Kind) String() string {
@@ -65,6 +66,9 @@ const (
 	FormPrivOp             // "<label> pid=<pid> <Str>"
 	FormInterrupt          // "<label> pid=<pid> vector=<A>"
 	FormIO                 // "<label> pid=<pid> <Str> n=<A> bytes=<B>"
+	FormDirtyStart         // "<label> pid=<pid> dirty-log armed"
+	FormDirtyCollect       // "<label> pid=<pid> dirty-log collect pages=<A>"
+	FormDirtyStop          // "<label> pid=<pid> dirty-log stopped"
 )
 
 // Event is one recorded simulator event. Typed events (Form != FormRaw)
@@ -109,6 +113,12 @@ func (e *Event) format() string {
 		return fmt.Sprintf("%s pid=%d vector=%d", e.Label, e.PID, e.A)
 	case FormIO:
 		return fmt.Sprintf("%s pid=%d %s n=%d bytes=%d", e.Label, e.PID, e.Str, e.A, e.B)
+	case FormDirtyStart:
+		return fmt.Sprintf("%s pid=%d dirty-log armed", e.Label, e.PID)
+	case FormDirtyCollect:
+		return fmt.Sprintf("%s pid=%d dirty-log collect pages=%d", e.Label, e.PID, e.A)
+	case FormDirtyStop:
+		return fmt.Sprintf("%s pid=%d dirty-log stopped", e.Label, e.PID)
 	}
 	return e.Detail
 }

@@ -70,11 +70,11 @@ func TestRunExperimentFacade(t *testing.T) {
 
 func TestListExperiments(t *testing.T) {
 	ids := ListExperiments()
-	if len(ids) != 16 {
-		t.Errorf("experiment count = %d, want 16", len(ids))
+	if len(ids) != 17 {
+		t.Errorf("experiment count = %d, want 17", len(ids))
 	}
 	joined := strings.Join(ids, "\n")
-	for _, want := range []string{"table1", "fig10", "fig13"} {
+	for _, want := range []string{"table1", "fig10", "fig13", "precopy"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("missing %s in %v", want, ids)
 		}
