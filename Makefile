@@ -23,27 +23,27 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -short ./internal/vclock/... ./internal/experiments/... ./internal/check/...
 
-# fuzz sweeps the full metamorphic corpus (13 variants per seed, including
-# the horizon-parallel engine at worker budgets 2 and 4, the lifecycle fast
-# lane disabled, and dirty-page logging armed) plus the backend differential
-# grids without the race detector's slowdown.
+# fuzz sweeps the full metamorphic corpus (14 variants per seed, including
+# the horizon-parallel engine at worker budgets 2 and 4, the lifecycle and
+# ranged VMA-mutation fast lanes disabled, and dirty-page logging armed)
+# plus the backend differential grids without the race detector's slowdown.
 fuzz:
 	$(GO) test -count=1 -run 'TestMetamorphicCorpus|TestSoloBypassDifferential|TestParallelEngineDifferential|TestLifecycleFastLaneDifferential|TestDirtyLogVariantDifferential' ./internal/check/
-	$(GO) test -count=1 -run 'TestRangedAccessEquivalence|TestForkTeardownEquivalence|TestDirtyLog' ./internal/backend/
+	$(GO) test -count=1 -run 'TestRangedAccessEquivalence|TestForkTeardownEquivalence|TestDirtyLog|TestVMAMutation' ./internal/backend/
 
-# bench regenerates BENCH_pr9.json: the TouchRange, ColdFault,
-# ProcessLifecycle, MultiVCPUContention, and DirtyScan grids plus the
-# PreCopy experiment benchmark across all five MMU backends, and the serial
-# and engine-parallel default-grid wall clocks (compared against
-# BENCH_pr8.json's baseline).
+# bench regenerates BENCH_pr10.json: the TouchRange, ColdFault,
+# ProcessLifecycle, VMAMutation, MultiVCPUContention, and DirtyScan grids
+# plus the PreCopy experiment benchmark across all five MMU backends, and
+# the serial and engine-parallel default-grid wall clocks (compared against
+# BENCH_pr9.json's baseline).
 bench:
-	$(GO) run ./cmd/benchreport -out BENCH_pr9.json
+	$(GO) run ./cmd/benchreport -out BENCH_pr10.json
 
 # bench-diff compares the two most recent bench artifacts cell by cell and
 # fails on regressions beyond the default threshold; it refuses to compare
 # artifacts measured at different benchtimes or host parallelism.
 bench-diff:
-	$(GO) run ./cmd/benchreport -diff BENCH_pr8.json BENCH_pr9.json
+	$(GO) run ./cmd/benchreport -diff BENCH_pr9.json BENCH_pr10.json
 
 # microbench runs the low-level hot-path benchmarks of the simulator core.
 microbench:

@@ -188,7 +188,7 @@ func runDetailed(cfg backend.Config, containers, procs, rounds int, wname string
 		Workload:   wname,
 		MakespanNS: makespan,
 		Failures:   rt.Failures(),
-		Events:     sys.Ctr.Snapshot(),
+		Events:     sys.MetricsSnapshot(),
 	}
 	for _, c := range rt.Containers() {
 		rep.PerCont = append(rep.PerCont, containerReport{
@@ -203,7 +203,7 @@ func runDetailed(cfg backend.Config, containers, procs, rounds int, wname string
 		if fails := rt.Failures(); fails > 0 {
 			fmt.Printf("FAILED container starts: %d (runtime deadline exceeded)\n", fails)
 		}
-		fmt.Printf("events:     %s\n", sys.Ctr.Snapshot())
+		fmt.Printf("events:     %s\n", sys.MetricsSnapshot())
 		for _, c := range rt.Containers() {
 			fmt.Printf("  %s: state=%s startup=%.2fms workload=%.3fms\n",
 				c.ID, c.State(), float64(c.StartupLatency())/1e6, float64(c.WorkloadTime())/1e6)
@@ -298,7 +298,10 @@ func cmdTrace(args []string) error {
 	sys.Eng.Wait()
 	fmt.Printf("event choreography: %s, %d fresh page fault(s) + get_pid + munmap\n\n", cfg, n)
 	fmt.Print(sys.Tracer.Format(*limit))
-	fmt.Printf("\ntotals: %s\n", sys.Ctr.Snapshot())
+	fmt.Printf("\ntotals: %s\n", sys.MetricsSnapshot())
+	if d := sys.Tracer.Dropped(); d > 0 {
+		fmt.Printf("trace ring overflowed: %d event(s) dropped; raise -limit or TraceEvents to widen the window\n", d)
+	}
 	return nil
 }
 

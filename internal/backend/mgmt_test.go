@@ -145,3 +145,55 @@ func TestVMCS12AccessAccounting(t *testing.T) {
 		t.Error("pvm guest should not carry a VMCS12")
 	}
 }
+
+// TestMetricsSnapshotTraceDropped pins the assembled snapshot: a trace ring
+// too small for the run reports its overwrites through MetricsSnapshot,
+// while the raw counter snapshot (the equivalence oracle's view) stays
+// tracer-free.
+func TestMetricsSnapshotTraceDropped(t *testing.T) {
+	opt := DefaultOptions()
+	opt.TraceEvents = 8
+	s := NewSystem(PVMNST, opt)
+	g, err := s.NewGuest("g0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Eng.Go(0, func(c *vclock.CPU) {
+		p, err := g.Kern.StartProcess(c, 4)
+		if err != nil {
+			panic(err)
+		}
+		base := p.Mmap(64)
+		p.TouchRange(base, 64, true)
+		if err := p.Exit(); err != nil {
+			panic(err)
+		}
+	})
+	s.Eng.Wait()
+	if err := s.Eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.MetricsSnapshot()
+	if snap.TraceDropped == 0 {
+		t.Fatal("8-entry ring retained a 64-page fault storm; expected drops")
+	}
+	if got, want := snap.TraceDropped, s.Tracer.Dropped(); got != want {
+		t.Errorf("snapshot TraceDropped = %d, tracer reports %d", got, want)
+	}
+	if raw := s.Ctr.Snapshot(); raw.TraceDropped != 0 {
+		t.Errorf("raw counter snapshot carries TraceDropped = %d, want 0", raw.TraceDropped)
+	}
+	// Beyond TraceDropped the assembled snapshot is the raw one (snapshots
+	// hold a map, so compare the stable rendering).
+	snap.TraceDropped = 0
+	if raw := s.Ctr.Snapshot(); raw.String() != snap.String() {
+		t.Errorf("MetricsSnapshot diverges from Ctr.Snapshot beyond TraceDropped:\n%s\n%s",
+			snap.String(), raw.String())
+	}
+	// A system without a tracer must not panic and reports zero.
+	opt.TraceEvents = 0
+	s2 := NewSystem(PVMNST, opt)
+	if d := s2.MetricsSnapshot().TraceDropped; d != 0 {
+		t.Errorf("tracerless system TraceDropped = %d, want 0", d)
+	}
+}

@@ -153,7 +153,11 @@ func (m *pvmMMU) onGPTWrite(p *guest.Process, ev pagetable.WriteEvent) {
 		})
 	}
 	if ev.Leaf {
-		d.tlb.FlushPage(g.VPID, d.pcidUser, ev.VA)
+		if d.vmaDefer {
+			d.vmaZap = append(d.vmaZap, ev.VA)
+		} else {
+			d.tlb.FlushPage(g.VPID, d.pcidUser, ev.VA)
+		}
 	}
 	m.enter(p, true)
 }

@@ -133,11 +133,15 @@ func (m *sptMMU) onGPTWrite(p *guest.Process, ev pagetable.WriteEvent) {
 	m.exit(c)
 	m.mmuLock.With(c, m.hold(g.Sys.Prm.SPTEmulWrite), func() {
 		if ev.Leaf {
-			d.sptUser.Unmap(ev.VA) // zap; refixed on next access
+			d.sptMapper.Unmap(ev.VA) // zap; refixed on next access
 		}
 	})
 	if ev.Leaf {
-		d.tlb.FlushPage(g.VPID, d.pcidUser, ev.VA)
+		if d.vmaDefer {
+			d.vmaZap = append(d.vmaZap, ev.VA)
+		} else {
+			d.tlb.FlushPage(g.VPID, d.pcidUser, ev.VA)
+		}
 	}
 	m.entry(c, p)
 }

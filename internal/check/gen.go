@@ -184,16 +184,22 @@ func genOps(r *rng, n, depth int) []Op {
 				Kind: OpTouchRange, Sel: r.intn(1 << 16), Off: r.intn(1 << 16),
 				Len: r.intn(1 << 16), Write: r.chance(60),
 			})
-		case w < 50:
+		case w < 48:
 			ops = append(ops, Op{
 				Kind: OpTouch, Sel: r.intn(1 << 16), Off: r.intn(1 << 16),
 				Write: r.chance(50),
 			})
-		case w < 57:
-			ops = append(ops, Op{Kind: OpMunmap, Sel: r.intn(1 << 16)})
-		case w < 64:
+		case w < 58:
+			// Munmap and mprotect carry more weight since PR 10 so the
+			// fuzz window keeps the ranged-mutation fast lane hot; Off/Len
+			// select the partial unmap range (Len%4 == 0 → whole region).
+			ops = append(ops, Op{
+				Kind: OpMunmap, Sel: r.intn(1 << 16), Off: r.intn(1 << 16),
+				Len: r.intn(1 << 16),
+			})
+		case w < 68:
 			ops = append(ops, Op{Kind: OpMprotect, Sel: r.intn(1 << 16), Write: r.chance(50)})
-		case w < 72:
+		case w < 76:
 			// Fork and exec carry more weight since PR 8 so the nightly
 			// fuzz window keeps the process-lifecycle fast lane hot.
 			if depth < 2 {
@@ -201,13 +207,13 @@ func genOps(r *rng, n, depth int) []Op {
 			} else {
 				ops = append(ops, Op{Kind: OpSyscall, Arg: int64(r.between(0, 2000))})
 			}
-		case w < 75:
+		case w < 79:
 			ops = append(ops, Op{Kind: OpExec, Pages: r.between(2, 8)})
-		case w < 82:
+		case w < 84:
 			ops = append(ops, Op{Kind: OpSyscall, Arg: int64(r.between(0, 2000))})
-		case w < 87:
+		case w < 88:
 			ops = append(ops, Op{Kind: OpCompute, Arg: int64(r.between(100, 5000))})
-		case w < 92:
+		case w < 93:
 			// OpHLT is excluded: Halt parks the vCPU, which is a
 			// liveness question, not a translation one.
 			privs := []arch.PrivOp{

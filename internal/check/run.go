@@ -23,6 +23,7 @@ type Variant struct {
 	CursorBypass bool // pagetable Mapper/Reader span caches off
 	Eager        bool // fused cost charging off: every lazy charge gates immediately
 	LifecycleOff bool // fork/exec/exit structural fast lane off: per-leaf reference paths
+	VMAOff       bool // munmap/mprotect/dirty-arm structural fast lane off: per-page reference loops
 	Workers      int  // ≥ 2: vclock horizon-parallel executor at that worker budget
 
 	// Fault injections, applied at every generated checkpoint.
@@ -53,9 +54,10 @@ func Variants() []Variant {
 		{Name: "parallel-engine", Workers: 2},
 		{Name: "parallel-engine-4", Workers: 4},
 		{Name: "dirtylog-on", DirtyLog: true},
+		{Name: "vma-off", VMAOff: true},
 		{Name: "everything", ByPage: true, SoloOff: true, CursorBypass: true,
-			Eager: true, LifecycleOff: true, DropTLBCaches: true, RevokeSolo: true,
-			SpuriousSync: true, Workers: 4},
+			Eager: true, LifecycleOff: true, VMAOff: true, DropTLBCaches: true,
+			RevokeSolo: true, SpuriousSync: true, Workers: 4},
 	}
 }
 
@@ -135,7 +137,9 @@ func runVariant(p *Program, v Variant, inspect func(*backend.System)) (Observati
 		}
 	}
 	cursorBypassOn(v.CursorBypass, func() {
-		lifecycleBypassOn(v.LifecycleOff, body)
+		lifecycleBypassOn(v.LifecycleOff, func() {
+			vmaBypassOn(v.VMAOff, body)
+		})
 	})
 	return o, runErr
 }
@@ -292,6 +296,29 @@ func (in *interp) runOps(ctx *pctx, ops []Op) {
 			}
 			i := op.Sel % len(ctx.regions)
 			r := ctx.regions[i]
+			// A length selector indivisible by 4 unmaps a partial page
+			// range (75% of multi-page targets); Len%4 == 0 keeps a share
+			// of whole-region unmaps and grandfathers pre-partial op
+			// streams, which carry Len 0.
+			if op.Len%4 != 0 && r.pages > 1 {
+				off := op.Off % r.pages
+				n := 1 + op.Len%(r.pages-off)
+				lo := r.base + arch.VA(off)*arch.PageSize
+				if err := ctx.p.Munmap(lo, n); err != nil {
+					panic(err)
+				}
+				// Replace the region with the surviving remnants (their
+				// count may exceed maxRegions, which only bounds Mmap).
+				ctx.regions = append(ctx.regions[:i], ctx.regions[i+1:]...)
+				if off > 0 {
+					ctx.regions = append(ctx.regions, region{r.base, off, r.writable})
+				}
+				if end := off + n; end < r.pages {
+					ctx.regions = append(ctx.regions,
+						region{lo + arch.VA(n)*arch.PageSize, r.pages - end, r.writable})
+				}
+				continue
+			}
 			if err := ctx.p.Munmap(r.base, r.pages); err != nil {
 				panic(err)
 			}

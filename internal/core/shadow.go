@@ -59,8 +59,11 @@ func (s *ShadowSpace) Install(va arch.VA, target arch.PFN, guestFlags pagetable.
 	}
 }
 
-// Zap drops the user-space shadow leaf for va (write-protection sync).
-func (s *ShadowSpace) Zap(va arch.VA) bool { return s.User.Unmap(va) }
+// Zap drops the user-space shadow leaf for va (write-protection sync). It
+// goes through the span-cached cursor: zap storms land on consecutive pages
+// (munmap/mprotect sweeps), and a cursor unmap performs exactly the leaf
+// store a direct Unmap would (see pagetable.Mapper).
+func (s *ShadowSpace) Zap(va arch.VA) bool { return s.userMapper.Unmap(va) }
 
 // Lookup peeks at the user-space shadow leaf.
 func (s *ShadowSpace) Lookup(va arch.VA) (pagetable.Entry, bool) {

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // Scale sizes the experiments. The paper's workloads run minutes on a
@@ -148,11 +149,22 @@ func List() []Experiment {
 	return out
 }
 
+// IDs returns every registered experiment id, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Run executes one experiment by id.
 func Run(id string, sc Scale, w io.Writer) error {
 	e, ok := Get(id)
 	if !ok {
-		return fmt.Errorf("experiments: unknown experiment %q", id)
+		return fmt.Errorf("experiments: unknown experiment %q (valid: all, %s)",
+			id, strings.Join(IDs(), ", "))
 	}
 	fmt.Fprintf(w, "=== %s: %s ===\n", e.ID, e.Title)
 	return e.Run(sc, w)

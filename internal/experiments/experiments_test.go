@@ -25,8 +25,26 @@ func TestRegistryComplete(t *testing.T) {
 
 func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Run("nope", QuickScale(), &buf); err == nil {
-		t.Error("unknown experiment did not error")
+	err := Run("nope", QuickScale(), &buf)
+	if err == nil {
+		t.Fatal("unknown experiment did not error")
+	}
+	// The rejection must name the bad id and list every valid one, so a
+	// pvmbench -exp typo is self-correcting.
+	msg := err.Error()
+	if !strings.Contains(msg, `"nope"`) {
+		t.Errorf("error does not name the unknown id: %s", msg)
+	}
+	for _, id := range IDs() {
+		if !strings.Contains(msg, id) {
+			t.Errorf("error does not list valid id %q: %s", id, msg)
+		}
+	}
+	if buf.Len() != 0 {
+		t.Errorf("rejected run wrote output: %q", buf.String())
+	}
+	if got, want := len(IDs()), len(List()); got != want {
+		t.Errorf("IDs() has %d entries, List() %d", got, want)
 	}
 }
 

@@ -80,6 +80,17 @@ type Platform interface {
 	// single PCID-targeted flush.
 	FlushRange(p *Process, pages int)
 
+	// BeginRangedMutation / EndRangedMutation bracket one ranged VMA
+	// mutation sweep (the structural munmap/mprotect lanes). Between
+	// them the platform may defer the per-page TLB zaps its PTE-store
+	// hooks would issue, coalescing them at End into ranged zaps over
+	// the affected runs — an mmu_gather-style batching that changes no
+	// virtual-time charge, gate, counter, or trace. End is called before
+	// the mutation's FlushRange. The bracket must nest trivially: one
+	// mutation at a time per process.
+	BeginRangedMutation(p *Process)
+	EndRangedMutation(p *Process)
+
 	// SyscallRoundTrip charges a guest user→kernel→user transition plus
 	// the in-kernel body cost.
 	SyscallRoundTrip(p *Process, body int64)
@@ -335,91 +346,6 @@ func (p *Process) Mmap(pages int) arch.VA {
 	return base
 }
 
-// Munmap removes the area previously returned by Mmap, unmapping its pages
-// (each PTE clear is a page-table store and traps under shadow paging),
-// freeing the frames, and reporting them down the stack (free page
-// reporting), so the next use of the region refaults the whole path.
-func (p *Process) Munmap(base arch.VA, pages int) error {
-	idx := -1
-	for i, v := range p.vmas {
-		if v.Start == base {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return fmt.Errorf("guest: munmap of unknown area %#x", base)
-	}
-	v := p.vmas[idx]
-	if v.Pages() != pages {
-		return fmt.Errorf("guest: munmap size mismatch at %#x: have %d pages, got %d", base, v.Pages(), pages)
-	}
-	p.Syscall(mmapBody)
-	prm := p.K.plat.Params()
-	for va := v.Start; va < v.End; va += arch.PageSize {
-		e, ok := p.gptMapper.Lookup(va)
-		if !ok {
-			continue
-		}
-		p.CPU.AdvanceLazy(prm.PTEWrite)
-		p.GPT.Unmap(va) // fires the platform's PTE-store hook
-		// Release the backing before the frame reaches the free list: a
-		// frame another vCPU allocates must never arrive still backed.
-		if p.K.GPA.RefCount(e.PFN) == 1 {
-			p.K.plat.ReleasePage(p, va, e.PFN)
-		}
-		if _, err := p.K.GPA.Free(e.PFN); err != nil {
-			return err
-		}
-	}
-	p.K.plat.FlushRange(p, pages)
-	p.vmas = append(p.vmas[:idx], p.vmas[idx+1:]...)
-	return nil
-}
-
-// Mprotect changes the protection of a previously mapped area (whole-area
-// granularity). Dropping write permission rewrites every present PTE (each
-// store traps under shadow paging) and issues one TLB range invalidation —
-// the mechanism behind lat_mprotect-style costs.
-func (p *Process) Mprotect(base arch.VA, pages int, writable bool) error {
-	idx := -1
-	for i, v := range p.vmas {
-		if v.Start == base && v.Pages() == pages {
-			idx = i
-			break
-		}
-	}
-	if idx < 0 {
-		return fmt.Errorf("guest: mprotect of unknown area %#x (%d pages)", base, pages)
-	}
-	p.Syscall(mmapBody)
-	prm := p.K.plat.Params()
-	p.vmas[idx].Writable = writable
-	perm := p.vmas[idx].perm()
-	changed := 0
-	for va := base; va < base+arch.VA(pages)*arch.PageSize; va += arch.PageSize {
-		e, ok := p.gptMapper.Lookup(va)
-		if !ok {
-			continue
-		}
-		if e.Flags.Has(pagetable.Writable) == writable {
-			continue
-		}
-		// Re-enabling write on a shared (COW) frame must not bypass
-		// the copy; leave those read-only for the fault path.
-		if writable && p.K.GPA.RefCount(e.PFN) > 1 {
-			continue
-		}
-		p.CPU.AdvanceLazy(prm.PTEWrite)
-		p.gptMapper.Protect(va, perm)
-		changed++
-	}
-	if changed > 0 {
-		p.K.plat.FlushRange(p, changed)
-	}
-	return nil
-}
-
 // forkBase is the in-kernel bookkeeping cost of fork excluding per-page
 // work (task struct, fd table, scheduler).
 const forkBase = 28000
@@ -608,6 +534,13 @@ func (k *Kernel) HandleFault(p *Process, va arch.VA, write bool) (arch.PFN, erro
 	}
 	writes, err := p.gptMapper.Map(va, gpa, vma.perm())
 	if err != nil {
+		// The frame was never published in the GPT; hand it straight back
+		// so a fault aborted by table-frame exhaustion leaks nothing.
+		// Partially built spine tables stay accounted in TableFrames and
+		// return at teardown.
+		if _, ferr := k.GPA.Free(gpa); ferr != nil {
+			return 0, ferr
+		}
 		return 0, err
 	}
 	c.AdvanceLazy(prm.FrameAlloc + int64(writes)*prm.PTEWrite)

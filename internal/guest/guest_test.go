@@ -58,6 +58,9 @@ func (f *fakePlatform) FlushRange(p *Process, pages int) {
 	f.flushes++
 }
 
+func (f *fakePlatform) BeginRangedMutation(p *Process) {}
+func (f *fakePlatform) EndRangedMutation(p *Process)   {}
+
 func (f *fakePlatform) StartDirtyLog(p *Process)          {}
 func (f *fakePlatform) CollectDirty(p *Process) []arch.VA { return nil }
 func (f *fakePlatform) StopDirtyLog(p *Process)           {}
@@ -242,16 +245,47 @@ func TestMunmapReleasesAndReports(t *testing.T) {
 	})
 }
 
-func TestMunmapSizeMismatch(t *testing.T) {
+func TestMunmapPartial(t *testing.T) {
 	k, _ := newTestKernel()
 	run(k, func(c *vclock.CPU) {
 		p, err := k.NewProcess(c)
 		if err != nil {
 			panic(err)
 		}
-		base := p.Mmap(4)
-		if err := p.Munmap(base, 2); err == nil {
-			t.Error("partial munmap should be rejected")
+		// Middle unmap splits the area in two; the remnants stay usable.
+		base := p.Mmap(8)
+		p.TouchRange(base, 8, true)
+		if err := p.Munmap(base+2*arch.PageSize, 4); err != nil {
+			t.Fatalf("middle munmap: %v", err)
+		}
+		if got := p.VMACount(); got != 2 {
+			t.Errorf("vmas after split = %d, want 2", got)
+		}
+		if k.GPA.InUse() == 0 {
+			t.Error("remnant frames should stay allocated")
+		}
+		p.TouchRange(base, 2, true)
+		// Head and tail unmaps shrink the remnants away.
+		if err := p.Munmap(base, 2); err != nil {
+			t.Fatalf("head munmap: %v", err)
+		}
+		if err := p.Munmap(base+6*arch.PageSize, 2); err != nil {
+			t.Fatalf("tail munmap: %v", err)
+		}
+		if got := p.VMACount(); got != 0 {
+			t.Errorf("vmas after full removal = %d, want 0", got)
+		}
+		// Unmap retains intermediate table frames; only data frames go.
+		if tables := int64(len(p.GPT.TableFrames())); k.GPA.InUse() != tables {
+			t.Errorf("GPA frames leaked: %d in use, %d are tables", k.GPA.InUse(), tables)
+		}
+		// A range escaping the area is still rejected.
+		b2 := p.Mmap(4)
+		if err := p.Munmap(b2+2*arch.PageSize, 4); err == nil {
+			t.Error("munmap escaping the area should be rejected")
+		}
+		if err := p.Munmap(b2, 0); err == nil {
+			t.Error("empty munmap should be rejected")
 		}
 	})
 }
@@ -572,5 +606,100 @@ func TestForkUnwindSharedFrames(t *testing.T) {
 	}
 	if !failed {
 		t.Fatal("no second fork in the limit sweep failed; regression test is vacuous")
+	}
+}
+
+// TestMunmapUnwindLeaksNothing sweeps allocator limits so demand population
+// of an area aborts at every stage — mid-leaf-table, at a leaf-table
+// boundary (where the fault's own table-frame allocation fails), deep into
+// the second table — and then munmaps the partially populated area in both
+// lanes. Whatever the population managed to build, the unmap must release
+// exactly the present frames (whole-area and split/shrink cuts alike), and
+// process exit must return the allocator to empty: no leaked frames, no
+// stray refcounts, in the structural fast lane and the per-page reference.
+func TestMunmapUnwindLeaksNothing(t *testing.T) {
+	const imagePages = 8
+	const areaPages = 600 // spans two leaf tables
+	// Baseline footprint: process resident, area mapped but cold.
+	base, _ := newTestKernel()
+	var inUse int64
+	run(base, func(c *vclock.CPU) {
+		p, err := base.StartProcess(c, imagePages)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		p.Mmap(areaPages)
+		inUse = base.GPA.InUse()
+	})
+	for _, lane := range []struct {
+		name    string
+		perPage bool
+	}{{"structural", false}, {"per-page", true}} {
+		t.Run(lane.name, func(t *testing.T) {
+			if lane.perPage {
+				SetVMABypass(true)
+				defer SetVMABypass(false)
+			}
+			aborted := false
+			for extra := int64(0); extra <= 8; extra++ {
+				k, _ := newLimitedKernel(inUse + extra)
+				run(k, func(c *vclock.CPU) {
+					p, err := k.StartProcess(c, imagePages)
+					if err != nil {
+						t.Errorf("extra=%d: StartProcess: %v", extra, err)
+						return
+					}
+					area := p.Mmap(areaPages)
+					faulted := 0
+					for i := 0; i < areaPages; i++ {
+						if _, err := k.HandleFault(p, area+arch.VA(i)*arch.PageSize, true); err != nil {
+							aborted = true
+							break
+						}
+						faulted++
+					}
+					populated := k.GPA.InUse()
+					// A middle cut first (split/shrink bookkeeping over the
+					// half-built area), then the remnants.
+					cut, cutPages := area+150*arch.PageSize, 300
+					freedByCut := 0
+					for i := 0; i < cutPages; i++ {
+						if _, ok := p.GPT.Lookup(cut + arch.VA(i)*arch.PageSize); ok {
+							freedByCut++
+						}
+					}
+					if err := p.Munmap(cut, cutPages); err != nil {
+						t.Errorf("extra=%d: middle munmap: %v", extra, err)
+						return
+					}
+					if got, want := k.GPA.InUse(), populated-int64(freedByCut); got != want {
+						t.Errorf("extra=%d: InUse %d after middle cut, want %d", extra, got, want)
+					}
+					if err := p.Munmap(area, 150); err != nil {
+						t.Errorf("extra=%d: head munmap: %v", extra, err)
+						return
+					}
+					if err := p.Munmap(area+450*arch.PageSize, 150); err != nil {
+						t.Errorf("extra=%d: tail munmap: %v", extra, err)
+						return
+					}
+					if got, want := k.GPA.InUse(), populated-int64(faulted); got != want {
+						t.Errorf("extra=%d: InUse %d after full unmap, want %d (faulted %d)",
+							extra, got, want, faulted)
+					}
+					if err := p.Exit(); err != nil {
+						t.Errorf("extra=%d: exit: %v", extra, err)
+						return
+					}
+					if leftover := k.GPA.InUse(); leftover != 0 {
+						t.Errorf("extra=%d: %d frames leaked after exit", extra, leftover)
+					}
+				})
+			}
+			if !aborted {
+				t.Fatal("no population in the limit sweep aborted; regression test is vacuous")
+			}
+		})
 	}
 }

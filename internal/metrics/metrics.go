@@ -169,6 +169,13 @@ type Snapshot struct {
 
 	WorldExits   int64
 	WorldEntries int64
+
+	// TraceDropped is the number of trace events the bounded trace ring
+	// overwrote. It is not a Counters field — the trace buffer owns the
+	// count — and is filled in only by snapshot assemblers that have the
+	// tracer at hand (backend.System.MetricsSnapshot); Counters.Snapshot
+	// leaves it zero.
+	TraceDropped int64
 }
 
 // Snapshot copies the current counter values.
@@ -234,6 +241,7 @@ func (s Snapshot) String() string {
 		{"cow-breaks", s.COWBreaks}, {"forks", s.Forks}, {"execs", s.Execs},
 		{"dirty-marks", s.DirtyMarks}, {"dirty-pml-drains", s.DirtyPMLDrains},
 		{"dirty-epochs", s.DirtyEpochs}, {"dirty-pages", s.DirtyPagesCollected},
+		{"trace-dropped", s.TraceDropped},
 	}
 	for _, e := range rest {
 		if e.v != 0 {

@@ -91,3 +91,18 @@ func TestRegistry(t *testing.T) {
 		t.Errorf("list = %v", list)
 	}
 }
+
+func TestSnapshotTraceDropped(t *testing.T) {
+	var c Counters
+	s := c.Snapshot()
+	if s.TraceDropped != 0 {
+		t.Errorf("Counters.Snapshot set TraceDropped = %d, want 0 (tracer-owned)", s.TraceDropped)
+	}
+	if strings.Contains(s.String(), "trace-dropped") {
+		t.Error("zero trace-dropped should be omitted")
+	}
+	s.TraceDropped = 7
+	if !strings.Contains(s.String(), "trace-dropped=7") {
+		t.Errorf("snapshot string %q missing trace-dropped=7", s.String())
+	}
+}

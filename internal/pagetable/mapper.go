@@ -104,6 +104,31 @@ func (m *Mapper) Protect(va arch.VA, flags Flags) bool {
 	return ok
 }
 
+// Unmap is PageTable.Unmap through the span cache: it clears the leaf entry
+// for va, reporting whether a mapping existed. Like Protect, a hit in the
+// cached span performs exactly the leaf store a direct Unmap would (the
+// intermediate levels are Present and survive scalar Unmap untouched).
+func (m *Mapper) Unmap(va arch.VA) bool {
+	if m.t != nil && va-m.base < LargePageSpan {
+		pt := m.pt
+		idx := va.Index(1)
+		if !m.t.entries[idx].Flags.Has(Present) {
+			return false
+		}
+		pt.write(1, va, true, m.t, idx, Entry{})
+		pt.stats.Unmaps++
+		return true
+	}
+	ok := m.pt.Unmap(va)
+	if ok && !cursorBypass {
+		if t, _, leafOK := m.pt.leaf(va); leafOK {
+			m.t = t
+			m.base = va &^ (LargePageSpan - 1)
+		}
+	}
+	return ok
+}
+
 // Lookup is PageTable.Lookup through the span cache.
 func (m *Mapper) Lookup(va arch.VA) (Entry, bool) {
 	if m.t != nil && va-m.base < LargePageSpan {

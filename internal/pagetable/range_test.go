@@ -1,0 +1,294 @@
+package pagetable
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/mem"
+)
+
+// rangePT builds a table over a real allocator so the tests can watch frame
+// accounting across splits and batch frees.
+func rangePT(t *testing.T) (*mem.Allocator, *PageTable) {
+	t.Helper()
+	alloc := mem.NewAllocator("pt", 0, 0x100)
+	pt, err := New(alloc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alloc, pt
+}
+
+func TestRangeEmptyAndUnmappedAreNoops(t *testing.T) {
+	_, pt := rangePT(t)
+	if _, err := pt.Map(0x4000_0000, 7, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	before := pt.Stats()
+	calls := 0
+	// pages <= 0 must not walk at all.
+	if err := pt.UnmapRange(0x4000_0000, 0, SkipLarge, func([]arch.VA, []arch.PFN, func(int)) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pt.ProtectRange(0x4000_0000, -3, SkipLarge, func([]arch.VA, []Entry, func(int, Flags)) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// A range over unmapped space has no present runs: fn never fires.
+	if err := pt.UnmapRange(0x7000_0000, 2048, SkipLarge, func([]arch.VA, []arch.PFN, func(int)) error {
+		calls++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 0 {
+		t.Fatalf("fn fired %d times on empty/unmapped ranges, want 0", calls)
+	}
+	if after := pt.Stats(); after != before {
+		t.Fatalf("stats moved on no-op ranges: %+v -> %+v", before, after)
+	}
+	if _, ok := pt.Lookup(0x4000_0000); !ok {
+		t.Fatal("bystander mapping disturbed")
+	}
+}
+
+func TestUnmapRangeMidLargeLeafSkip(t *testing.T) {
+	_, pt := rangePT(t)
+	base := arch.VA(0x4000_0000) &^ (LargePageSpan - 1)
+	if _, err := pt.MapLarge(base, 0x9000, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	// Neighbouring 4K pages on both sides of the huge leaf.
+	lo := base - 2*arch.PageSize
+	hiPage := base + LargePageSpan
+	for _, va := range []arch.VA{lo, lo + arch.PageSize, hiPage} {
+		if _, err := pt.Map(va, arch.PFN(0xa000+va.PageNumber()), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := pt.Stats()
+	var cleared []arch.VA
+	// The range ends mid-large-leaf; under SkipLarge only the 4K neighbours
+	// fall in runs, exactly as the per-page leaf() probes would resolve.
+	if err := pt.UnmapRange(lo, 2+100, SkipLarge, func(vas []arch.VA, pfns []arch.PFN, clear func(int)) error {
+		for i := range vas {
+			clear(i)
+			cleared = append(cleared, vas[i])
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(cleared) != 2 || cleared[0] != lo || cleared[1] != lo+arch.PageSize {
+		t.Fatalf("cleared %#x, want exactly the two 4K neighbours", cleared)
+	}
+	if e, ok := pt.LookupLarge(base); !ok || e.PFN != 0x9000 || !e.Flags.Has(Large) {
+		t.Fatalf("Large leaf disturbed by SkipLarge range: %+v, %v", e, ok)
+	}
+	if after := pt.Stats(); after.Tables != before.Tables {
+		t.Fatalf("SkipLarge allocated tables: %d -> %d", before.Tables, after.Tables)
+	}
+}
+
+func TestUnmapRangeMidLargeLeafSplit(t *testing.T) {
+	_, pt := rangePT(t)
+	base := arch.VA(0x4000_0000) &^ (LargePageSpan - 1)
+	if _, err := pt.MapLarge(base, 0x9000, Writable|User|Accessed|Dirty); err != nil {
+		t.Fatal(err)
+	}
+	var events []WriteEvent
+	pt.OnWrite = func(ev WriteEvent) { events = append(events, ev) }
+	before := pt.Stats()
+	cleared := 0
+	// Range covers the first 100 pages of the huge leaf only.
+	if err := pt.UnmapRange(base, 100, SplitLarge, func(vas []arch.VA, pfns []arch.PFN, clear func(int)) error {
+		for i := range vas {
+			if want := arch.PFN(0x9000) + arch.PFN(i); pfns[i] != want {
+				t.Fatalf("split leaf %d PFN = %#x, want %#x", i, pfns[i], want)
+			}
+			clear(i)
+			cleared++
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if cleared != 100 {
+		t.Fatalf("cleared %d pages, want 100", cleared)
+	}
+	// PMD-split discipline: the only architecturally visible stores are the
+	// one level-2 entry publishing the new leaf table and the 100 clears.
+	if len(events) != 1+100 {
+		t.Fatalf("%d write events, want 101 (1 split publish + 100 clears)", len(events))
+	}
+	if ev := events[0]; ev.Level != 2 || ev.Leaf {
+		t.Fatalf("first event = %+v, want non-leaf level-2 split publish", ev)
+	}
+	if after := pt.Stats(); after.Tables != before.Tables+1 {
+		t.Fatalf("split created %d tables, want 1", after.Tables-before.Tables)
+	}
+	// Out-of-range leaves survive with the huge leaf's flags (A/D included)
+	// and contiguous frames.
+	if _, ok := pt.Lookup(base + 50*arch.PageSize); ok {
+		t.Fatal("in-range page survived the unmap")
+	}
+	e, ok := pt.Lookup(base + 200*arch.PageSize)
+	if !ok || e.PFN != 0x9000+200 {
+		t.Fatalf("out-of-range split leaf = %+v, %v; want PFN %#x", e, ok, 0x9000+200)
+	}
+	if want := Present | Writable | User | Accessed | Dirty; e.Flags != want {
+		t.Fatalf("split leaf flags = %v, want inherited %v", e.Flags, want)
+	}
+	if _, ok := pt.LookupLarge(base); ok {
+		t.Fatal("level-2 entry still a Large leaf after split")
+	}
+}
+
+func TestSplitLargeAllocFailureStopsWalk(t *testing.T) {
+	// Size the limit by building the same spine once on an unlimited
+	// allocator, then rebuild at exactly that footprint so the split's table
+	// allocation is the first to fail.
+	probe := mem.NewAllocator("probe", 0, 0x100)
+	ptp, err := New(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := arch.VA(0x4000_0000) &^ (LargePageSpan - 1)
+	if _, err := ptp.MapLarge(base, 0x9000, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	tight := mem.NewAllocator("tight", probe.InUse(), 0x100)
+	pt, err := New(tight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pt.MapLarge(base, 0x9000, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	err = pt.UnmapRange(base, 100, SplitLarge, func(vas []arch.VA, pfns []arch.PFN, clear func(int)) error {
+		calls++
+		return nil
+	})
+	if !errors.Is(err, mem.ErrOutOfMemory) {
+		t.Fatalf("UnmapRange split error = %v, want ErrOutOfMemory", err)
+	}
+	if calls != 0 {
+		t.Fatal("fn ran despite the split failing")
+	}
+	if e, ok := pt.LookupLarge(base); !ok || e.PFN != 0x9000 {
+		t.Fatalf("Large leaf disturbed by failed split: %+v, %v", e, ok)
+	}
+}
+
+func TestUnmapRangeFullLeafTableFeedsFreeKeepLast(t *testing.T) {
+	alloc, pt := rangePT(t)
+	// One fully populated leaf table (512 pages, table-aligned) with live
+	// frames, plus a sentinel page in the next table.
+	base := arch.VA(0x4000_0000) &^ (LargePageSpan - 1)
+	pfns := make([]arch.PFN, 0, arch.EntriesPerTable)
+	for i := 0; i < arch.EntriesPerTable; i++ {
+		pfn := alloc.MustAlloc()
+		pfns = append(pfns, pfn)
+		if _, err := pt.Map(base+arch.VA(i)*arch.PageSize, pfn, Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sentinel := alloc.MustAlloc()
+	if _, err := pt.Map(base+LargePageSpan, sentinel, Writable|User); err != nil {
+		t.Fatal(err)
+	}
+	// Share half the frames so FreeKeepLast sees both rc>1 drops and
+	// last-reference keeps.
+	for i := 0; i < arch.EntriesPerTable; i += 2 {
+		if err := alloc.Share(pfns[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := alloc.InUse()
+	runs := 0
+	if err := pt.UnmapRange(base, arch.EntriesPerTable, SkipLarge, func(vas []arch.VA, got []arch.PFN, clear func(int)) error {
+		runs++
+		if len(vas) != arch.EntriesPerTable {
+			t.Fatalf("run of %d pages, want the full leaf table (%d)", len(vas), arch.EntriesPerTable)
+		}
+		idx, err := alloc.FreeKeepLast(got, nil)
+		if err != nil {
+			return err
+		}
+		last := make([]arch.PFN, 0, len(idx))
+		k := 0
+		for i := range vas {
+			clear(i)
+			if k < len(idx) && idx[k] == i {
+				last = append(last, got[i])
+				k++
+			}
+		}
+		return alloc.FreeBatch(last)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("full-table drop took %d runs, want 1", runs)
+	}
+	// Shared frames (every even index) survive with one reference; sole-owner
+	// frames are gone.
+	if got, want := alloc.InUse(), before-arch.EntriesPerTable/2; got != want {
+		t.Fatalf("InUse = %d after drop, want %d", got, want)
+	}
+	for i, pfn := range pfns {
+		want := int32(0)
+		if i%2 == 0 {
+			want = 1
+		}
+		if rc := alloc.RefCount(pfn); rc != want {
+			t.Fatalf("frame %d rc = %d, want %d", i, rc, want)
+		}
+	}
+	if _, ok := pt.Lookup(base + LargePageSpan); !ok {
+		t.Fatal("sentinel page in the next leaf table was dropped")
+	}
+	if pt.CountMapped() != 1 {
+		t.Fatalf("CountMapped = %d, want 1 (sentinel only)", pt.CountMapped())
+	}
+}
+
+func TestProtectRangeStopsOnError(t *testing.T) {
+	_, pt := rangePT(t)
+	// Two leaf tables' worth of pages so the walk has a second run to skip.
+	for i := 0; i < 2*arch.EntriesPerTable; i++ {
+		if _, err := pt.Map(arch.VA(i)*arch.PageSize, arch.PFN(0x9000+i), Writable|User); err != nil {
+			t.Fatal(err)
+		}
+	}
+	boom := errors.New("boom")
+	protected := 0
+	err := pt.ProtectRange(0, 2*arch.EntriesPerTable, SkipLarge, func(vas []arch.VA, ents []Entry, protect func(int, Flags)) error {
+		for i := range vas {
+			protect(i, User) // drop Writable
+			protected++
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if protected != arch.EntriesPerTable {
+		t.Fatalf("first run protected %d pages, want %d", protected, arch.EntriesPerTable)
+	}
+	// Partial-progress semantics: the first table's pages stay protected,
+	// the second table's were never visited.
+	if e, _ := pt.Lookup(0); e.Flags.Has(Writable) {
+		t.Fatal("first-run page still writable after protect")
+	}
+	if e, _ := pt.Lookup(arch.VA(arch.EntriesPerTable) * arch.PageSize); !e.Flags.Has(Writable) {
+		t.Fatal("second-run page lost Writable despite the aborted walk")
+	}
+}
